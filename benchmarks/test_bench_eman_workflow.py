@@ -1,0 +1,59 @@
+"""Benchmark: the §3.3 EMAN workflow scheduling demonstration.
+
+Prints the per-policy makespan table for the EMAN refinement workflow
+on the heterogeneous IA-32 + IA-64 grid and asserts the demonstrated
+claims: the model-guided heuristics produce far better schedules than a
+model-blind baseline, the chosen schedule executes end to end, and the
+mixed-ISA resource set genuinely carries work on both architectures
+(the binder's heterogeneity story).
+"""
+
+import pytest
+
+from repro.apps import EmanParameters
+from repro.experiments import run_eman_demo
+
+
+@pytest.fixture(scope="module")
+def eman():
+    return run_eman_demo(n_random=5)
+
+
+def test_bench_eman_schedule_and_execute(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_eman_demo(params=EmanParameters(n_particles=5000),
+                              n_random=2),
+        rounds=1, iterations=1)
+    assert result.measured_makespan > 0
+
+
+class TestEmanShape:
+    def test_print_table(self, eman):
+        print()
+        print(eman.to_table())
+        print(f"\nexecuted {eman.chosen_heuristic} schedule: "
+              f"{eman.measured_makespan:.1f} s measured on "
+              f"{eman.resources_used} resources, ISAs {eman.isas_used}")
+
+    def test_informed_beats_random(self, eman):
+        informed = min(eman.estimated[name]
+                       for name in ("min-min", "max-min", "sufferage"))
+        assert informed < eman.estimated["random(mean)"] * 0.7
+
+    def test_informed_at_least_matches_fifo(self, eman):
+        informed = min(eman.estimated[name]
+                       for name in ("min-min", "max-min", "sufferage"))
+        assert informed <= eman.estimated["fifo"] + 1e-9
+
+    def test_chosen_is_min_of_three(self, eman):
+        three = {k: v for k, v in eman.estimated.items()
+                 if k in ("min-min", "max-min", "sufferage")}
+        assert eman.estimated[eman.chosen_heuristic] == min(three.values())
+
+    def test_executes_on_both_isas(self, eman):
+        assert eman.isas_used == ["ia32", "ia64"]
+        assert eman.resources_used >= 8
+
+    def test_measured_tracks_estimate(self, eman):
+        estimate = eman.estimated[eman.chosen_heuristic]
+        assert eman.measured_makespan == pytest.approx(estimate, rel=0.5)

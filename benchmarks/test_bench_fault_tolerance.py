@@ -1,0 +1,93 @@
+"""Benchmark: checkpoint-interval ablation (fault-tolerance extension).
+
+The paper's §5 future work (realized in VGrADS) adds fault tolerance;
+our implementation checkpoints every k panel steps to stable storage
+and restarts from the last checkpoint after a host crash.  The classic
+trade this sweep exposes: small k = high failure-free overhead, large
+k (or no checkpoints) = expensive recovery.
+"""
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import ScheduledFailure, fig3_testbed
+from repro.appmanager import GradsEnvironment
+from repro.apps import QrBenchmark
+from repro.experiments import format_table
+
+N = 4000
+INTERVALS = (None, 2, 5, 10)
+CRASH_AT = 100.0
+
+
+def run_qr(checkpoint_every: Optional[int], crash: bool) -> Dict:
+    sim = Simulator()
+    grid = fig3_testbed(sim)
+    env = GradsEnvironment(sim, grid, submission_host="utk.n3")
+    run, monitor, rescheduler = env.managed_qr(
+        QrBenchmark(n=N, nb=200),
+        initial_hosts=grid.clusters["utk"].host_names()[:3],
+        rescheduler_mode="force-stay",
+        checkpoint_every=checkpoint_every,
+        stable_storage=True)
+    if crash:
+        ScheduledFailure(host=grid.clusters["utk"][1],
+                         at=CRASH_AT).install(sim)
+    finished = run.start()
+    sim.run(stop_event=finished)
+    return {"total": sim.now, "recovered": run.failures_recovered,
+            "progress": run.progress, "steps": run.benchmark.steps}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for interval in INTERVALS:
+        out[(interval, False)] = run_qr(interval, crash=False)
+        out[(interval, True)] = run_qr(interval, crash=True)
+    return out
+
+
+def test_bench_fault_tolerant_run(benchmark):
+    result = benchmark.pedantic(lambda: run_qr(5, crash=True),
+                                rounds=1, iterations=1)
+    assert result["recovered"] == 1
+
+
+class TestCheckpointIntervalAblation:
+    def test_print_sweep(self, sweep):
+        rows = []
+        for interval in INTERVALS:
+            label = "none" if interval is None else str(interval)
+            clean = sweep[(interval, False)]
+            crashed = sweep[(interval, True)]
+            rows.append([label, clean["total"], crashed["total"],
+                         crashed["recovered"]])
+        print()
+        print(format_table(
+            ["ckpt every (steps)", "no-failure total (s)",
+             "with-crash total (s)", "recoveries"],
+            rows,
+            title=f"Checkpoint-interval ablation (QR N={N}, "
+                  f"crash at t={CRASH_AT:.0f} s)"))
+
+    def test_every_configuration_completes(self, sweep):
+        for key, result in sweep.items():
+            assert result["progress"] == result["steps"], key
+
+    def test_checkpoint_overhead_grows_as_interval_shrinks(self, sweep):
+        clean = {i: sweep[(i, False)]["total"] for i in INTERVALS}
+        assert clean[2] > clean[10] > clean[None]
+
+    def test_checkpointing_pays_off_under_failure(self, sweep):
+        """With a crash, frequent checkpoints beat none despite their
+        failure-free overhead."""
+        crashed = {i: sweep[(i, True)]["total"] for i in INTERVALS}
+        assert crashed[2] < crashed[None]
+        assert crashed[5] < crashed[None]
+
+    def test_all_crashed_runs_recovered_once(self, sweep):
+        for interval in INTERVALS:
+            assert sweep[(interval, True)]["recovered"] == 1

@@ -1,0 +1,87 @@
+"""Benchmark: regenerate Figure 3 (QR stop/restart rescheduling).
+
+Prints the stacked-bar table (both forced modes per matrix size) and
+the default-mode decision table with the 900 s worst-case pessimism,
+then asserts the paper's qualitative claims:
+
+* checkpoint *reading* dominates the rescheduling cost; writing is
+  insignificant (local IBP disks);
+* rescheduling benefits grow with problem size; below the crossover
+  migration loses, above it wins;
+* the pessimistic worst-case cost produces a wrong "stay" decision at
+  exactly the crossover size, and correct decisions elsewhere.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3
+from repro.experiments.fig3_qr import DEFAULT_SIZES
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(sizes=DEFAULT_SIZES)
+
+
+def test_bench_fig3_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(sizes=(6000, 9000), with_decisions=False),
+        rounds=1, iterations=1)
+    assert result.points
+
+
+class TestFigure3Shape:
+    def test_print_figure(self, fig3_result):
+        print()
+        print(fig3_result.to_table())
+        print()
+        print(fig3_result.decision_table())
+        print(f"\ncrossover size: {fig3_result.crossover_size()}")
+
+    def test_checkpoint_read_dominates_write(self, fig3_result):
+        for n in fig3_result.sizes():
+            _stay, move = fig3_result.pair(n)
+            if move.migrations:
+                assert move.phase("checkpoint_read_2") > \
+                    5 * move.phase("checkpoint_write_1"), n
+
+    def test_rescheduling_benefit_grows_with_size(self, fig3_result):
+        gains = []
+        for n in fig3_result.sizes():
+            stay, move = fig3_result.pair(n)
+            gains.append(stay.total_seconds - move.total_seconds)
+        # monotone non-decreasing trend over the sweep
+        assert gains[-1] > gains[0]
+        assert gains[-1] > 0
+
+    def test_crossover_exists_midrange(self, fig3_result):
+        crossover = fig3_result.crossover_size()
+        sizes = fig3_result.sizes()
+        assert crossover is not None
+        assert sizes[0] < crossover <= sizes[-1]
+
+    def test_wrong_decisions_form_pessimism_band_at_crossover(
+            self, fig3_result):
+        """§4.1.2's mechanism: the worst-case cost assumption turns the
+        sizes just past the crossover into wrong "stay" calls (one size,
+        8000, in the paper; a narrow contiguous band here).  Every wrong
+        call must be an overly pessimistic keep, never a bad migrate,
+        and sizes well past the crossover must decide correctly."""
+        decisions = fig3_result.decisions
+        wrong = sorted(n for n, d in decisions.items() if not d["correct"])
+        sizes = sorted(decisions)
+        assert len(wrong) <= 2
+        for n in wrong:
+            assert not decisions[n]["migrate"]  # pessimistic keep
+            assert decisions[n]["benefit_actual"] > 0  # it would have won
+        if wrong:
+            # contiguous band ending right where migrate decisions start
+            first_migrate = min(n for n in sizes if decisions[n]["migrate"])
+            band = [n for n in sizes if wrong[0] <= n < first_migrate]
+            assert wrong == band
+
+    def test_small_sizes_stay_large_sizes_migrate(self, fig3_result):
+        decisions = fig3_result.decisions
+        sizes = sorted(decisions)
+        assert not decisions[sizes[0]]["migrate"]
+        assert decisions[sizes[-1]]["migrate"]

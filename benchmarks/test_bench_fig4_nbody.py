@@ -1,0 +1,60 @@
+"""Benchmark: regenerate Figure 4 (N-body progress under swapping).
+
+Prints the iteration-vs-time series for the swap run and the no-swap
+baseline, then asserts the published shape: progress slowed by the
+competitive load introduced at t=80 s, all three processes moved to the
+UIUC cluster by ~150 s, and the slope recovered after the migration.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(n_iterations=120)
+
+
+@pytest.fixture(scope="module")
+def fig4_baseline():
+    return run_fig4(n_iterations=120, with_swapping=False)
+
+
+def test_bench_fig4_run(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(n_iterations=60),
+                                rounds=1, iterations=1)
+    assert result.progress
+
+
+class TestFigure4Shape:
+    def test_print_figure(self, fig4, fig4_baseline):
+        print()
+        print(fig4.to_series())
+        print(f"\nswaps applied at: "
+              f"{[round(t, 1) for t in fig4.swap_times]} -> "
+              f"{fig4.swapped_to}")
+        print(f"finished with swapping:    {fig4.finished_at:8.1f} s")
+        print(f"finished without swapping: "
+              f"{fig4_baseline.finished_at:8.1f} s")
+
+    def test_load_slows_progress(self, fig4):
+        pre = fig4.rate_between(10.0, 80.0)
+        swapped = fig4.all_swaps_done_by()
+        loaded = fig4.rate_between(80.0, swapped)
+        assert loaded < pre * 0.5
+
+    def test_all_three_processes_on_uiuc_by_150s(self, fig4):
+        assert len(fig4.swap_times) == 3
+        assert max(fig4.swap_times) < 150.0
+        assert all(name.startswith("uiuc.") for name in fig4.swapped_to)
+
+    def test_slope_recovers_after_swap(self, fig4):
+        swapped = fig4.all_swaps_done_by()
+        pre = fig4.rate_between(10.0, 80.0)
+        post = fig4.rate_between(swapped + 5.0, fig4.finished_at)
+        assert post > pre * 0.6
+
+    def test_swapping_beats_no_swapping(self, fig4, fig4_baseline):
+        assert fig4.finished_at < fig4_baseline.finished_at * 0.8
+        assert fig4_baseline.swap_times == []

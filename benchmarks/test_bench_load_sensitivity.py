@@ -1,0 +1,74 @@
+"""Benchmark: rescheduling-benefit sensitivity (the [21] study).
+
+"In another paper [21], we examine the effects of other parameters
+(e.g., the load and the time after the start of the application when
+the load was introduced)".  This sweep reproduces that study's shape on
+the Figure 3 testbed at N=9000: the later the load arrives, the less
+remaining work there is to protect and the smaller the migration gain;
+the heavier the load, the larger the gain.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig3_qr import run_fig3_point
+
+N = 9000
+LOAD_TIMES = (60.0, 180.0, 300.0, 420.0)
+LOAD_LEVELS = (4, 8)
+
+
+def gain(load_at: float, load_procs: int) -> Dict:
+    stay = run_fig3_point(N, "no-reschedule", load_at=load_at,
+                          load_procs=load_procs)
+    move = run_fig3_point(N, "reschedule", load_at=load_at,
+                          load_procs=load_procs)
+    return {
+        "stay": stay.total_seconds,
+        "move": move.total_seconds,
+        "gain": stay.total_seconds - move.total_seconds,
+        "migrated": move.migrations > 0,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {(at, procs): gain(at, procs)
+            for at in LOAD_TIMES for procs in LOAD_LEVELS}
+
+
+def test_bench_load_sensitivity_point(benchmark):
+    out = benchmark.pedantic(lambda: gain(300.0, 8), rounds=1, iterations=1)
+    assert out["migrated"]
+
+
+class TestLoadSensitivity:
+    def test_print_sweep(self, sweep):
+        rows = []
+        for (at, procs), result in sorted(sweep.items()):
+            rows.append([at, procs, result["stay"], result["move"],
+                         result["gain"]])
+        print()
+        print(format_table(
+            ["load at (s)", "load procs", "no-reschedule (s)",
+             "reschedule (s)", "gain (s)"], rows,
+            title=f"Rescheduling gain vs load timing/intensity (QR N={N})"))
+
+    def test_later_load_smaller_gain(self, sweep):
+        """Less lifetime left to protect -> less to win by moving."""
+        for procs in LOAD_LEVELS:
+            gains = [sweep[(at, procs)]["gain"] for at in LOAD_TIMES]
+            assert gains[0] > gains[-1], procs
+            # and the trend is monotone over the sweep
+            assert all(a >= b - 30.0 for a, b in zip(gains, gains[1:])), \
+                procs
+
+    def test_heavier_load_larger_gain(self, sweep):
+        for at in LOAD_TIMES[:-1]:  # at the latest time both are smallish
+            assert sweep[(at, 8)]["gain"] > sweep[(at, 4)]["gain"], at
+
+    def test_migration_happens_under_every_loaded_case(self, sweep):
+        for key, result in sweep.items():
+            assert result["migrated"], key

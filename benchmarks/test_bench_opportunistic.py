@@ -1,0 +1,63 @@
+"""Benchmark: opportunistic rescheduling (§4.1.1 / [21]).
+
+Application B starts on the slow cluster because A occupies the fast
+one; B never violates its contract.  With the opportunistic daemon on,
+B is migrated to the fast cluster once A completes and finishes much
+sooner; with it off, B grinds to completion where it started.
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_opportunistic
+
+
+@pytest.fixture(scope="module")
+def with_daemon():
+    return run_opportunistic(enable=True)
+
+
+@pytest.fixture(scope="module")
+def without_daemon():
+    return run_opportunistic(enable=False)
+
+
+def test_bench_opportunistic(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_opportunistic(n_a=4000, n_b=6000, enable=True),
+        rounds=1, iterations=1)
+    assert result.b_migrations >= 0
+
+
+class TestOpportunisticShape:
+    def test_print_summary(self, with_daemon, without_daemon):
+        rows = [
+            ("daemon on", with_daemon.a_finished_at,
+             with_daemon.b_finished_at, with_daemon.b_migrations,
+             with_daemon.b_final_cluster),
+            ("daemon off", without_daemon.a_finished_at,
+             without_daemon.b_finished_at, without_daemon.b_migrations,
+             without_daemon.b_final_cluster),
+        ]
+        print()
+        print(format_table(
+            ["mode", "A done (s)", "B done (s)", "B migrations",
+             "B final cluster"], rows,
+            title="Opportunistic rescheduling"))
+
+    def test_daemon_migrates_b_to_freed_cluster(self, with_daemon):
+        assert with_daemon.b_migrations == 1
+        assert with_daemon.b_final_cluster == "fast"
+        assert with_daemon.opportunistic_decisions >= 1
+        # the migration happens only after A freed the fast cluster
+        assert with_daemon.b_finished_at > with_daemon.a_finished_at
+
+    def test_without_daemon_b_stays(self, without_daemon):
+        assert without_daemon.b_migrations == 0
+        assert without_daemon.b_final_cluster == "slow"
+
+    def test_daemon_speeds_up_b(self, with_daemon, without_daemon):
+        assert with_daemon.b_finished_at < \
+            without_daemon.b_finished_at * 0.8
+        # A is unaffected either way
+        assert with_daemon.a_finished_at == pytest.approx(
+            without_daemon.a_finished_at, rel=0.01)

@@ -1,0 +1,106 @@
+"""Benchmark: performance-model construction accuracy (§3.2).
+
+The paper builds component models from small-size instrumented runs and
+uses them at production sizes.  This bench fits flop-count and MRD
+models on small problems and scores their extrapolation against ground
+truth across problem sizes and cache configurations — the property the
+whole workflow scheduler rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import qr_total_mflop
+from repro.perfmodel import (
+    MrdModel,
+    ReuseHistogram,
+    fit_flop_model,
+)
+from repro.experiments import format_table
+
+TRAIN_SIZES = (200, 300, 400, 500, 600)
+EVAL_SIZES = (1000, 2000, 4000, 8000)
+
+
+def fit_qr_flops():
+    counts = [qr_total_mflop(n) * 1e6 for n in TRAIN_SIZES]
+    return fit_flop_model(TRAIN_SIZES, counts)
+
+
+def blocked_traverse_trace(n_blocks, passes=3, tile=8):
+    """A tiled sweep: reuse distance ~tile within tiles, ~n across."""
+    trace = []
+    for _ in range(passes):
+        for start in range(0, n_blocks, tile):
+            for _rep in range(2):
+                trace.extend(range(start, min(start + tile, n_blocks)))
+    return trace
+
+
+def fit_mrd():
+    hists = [ReuseHistogram.from_trace(n, blocked_traverse_trace(n))
+             for n in (32, 64, 128)]
+    return MrdModel.fit(hists)
+
+
+@pytest.fixture(scope="module")
+def flop_model():
+    return fit_qr_flops()
+
+
+@pytest.fixture(scope="module")
+def mrd_model():
+    return fit_mrd()
+
+
+def test_bench_model_fitting(benchmark):
+    model = benchmark.pedantic(fit_qr_flops, rounds=3, iterations=1)
+    assert model.dominant_degree == 3
+
+
+def test_bench_mrd_fitting(benchmark):
+    model = benchmark.pedantic(fit_mrd, rounds=3, iterations=1)
+    assert model.bins
+
+
+class TestModelAccuracy:
+    def test_print_extrapolation_table(self, flop_model):
+        rows = []
+        for n in EVAL_SIZES:
+            predicted = flop_model(n) / 1e6
+            truth = qr_total_mflop(n)
+            rows.append([n, truth, predicted,
+                         100 * abs(predicted - truth) / truth])
+        print()
+        print(format_table(
+            ["N", "true Mflop", "predicted Mflop", "error %"], rows,
+            title="Flop-count extrapolation (trained on N=200..600)"))
+
+    def test_extrapolation_error_small(self, flop_model):
+        for n in EVAL_SIZES:
+            predicted = flop_model(n) / 1e6
+            truth = qr_total_mflop(n)
+            assert abs(predicted - truth) / truth < 0.05, n
+
+    def test_mrd_predicts_working_set_cliff(self, mrd_model):
+        """Miss fraction must fall sharply once the cache covers the
+        tile, and approach 1 when it does not even hold a tile."""
+        line = 64
+        n = 512  # unseen size
+        rows = []
+        for cache_lines in (4, 8, 16, 64, 256, 1024):
+            frac = mrd_model.predict_miss_fraction(
+                n, cache_bytes=cache_lines * line, line_bytes=line)
+            rows.append([cache_lines, frac])
+        print()
+        print(format_table(["cache (lines)", "predicted miss fraction"],
+                           rows, title=f"MRD model at N={n} blocks"))
+        tiny = mrd_model.predict_miss_fraction(n, 4 * line, line)
+        tile_sized = mrd_model.predict_miss_fraction(n, 64 * line, line)
+        assert tiny > 0.8
+        assert tile_sized < tiny * 0.7
+
+    def test_mrd_access_counts_extrapolate(self, mrd_model):
+        truth = len(blocked_traverse_trace(512))
+        predicted = mrd_model.predict_accesses(512)
+        assert predicted == pytest.approx(truth, rel=0.1)

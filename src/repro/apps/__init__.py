@@ -1,0 +1,48 @@
+"""The paper's applications: QR, N-body, and the EMAN workflow."""
+
+from .eman import EMAN_STAGES, EmanParameters, eman_refinement_workflow
+from .ligo import LIGO_STAGES, LigoParameters, ligo_pulsar_search_workflow
+from .kernels import (
+    BYTES_PER_ELEMENT,
+    INTERACTION_FLOPS,
+    nbody_state_bytes,
+    nbody_step_mflop,
+    qr_matrix_bytes,
+    qr_panel_bytes,
+    qr_step_mflop,
+    qr_steps,
+    qr_total_mflop,
+)
+from .nbody import NBodySimulation, ProgressPoint
+from .qr import (
+    PERF_MODELING_SECONDS,
+    RESOURCE_SELECTION_SECONDS,
+    QrBenchmark,
+    QrRun,
+    qr_cop,
+)
+
+__all__ = [
+    "BYTES_PER_ELEMENT",
+    "EMAN_STAGES",
+    "EmanParameters",
+    "INTERACTION_FLOPS",
+    "LIGO_STAGES",
+    "LigoParameters",
+    "NBodySimulation",
+    "PERF_MODELING_SECONDS",
+    "ProgressPoint",
+    "QrBenchmark",
+    "QrRun",
+    "RESOURCE_SELECTION_SECONDS",
+    "eman_refinement_workflow",
+    "ligo_pulsar_search_workflow",
+    "nbody_state_bytes",
+    "nbody_step_mflop",
+    "qr_cop",
+    "qr_matrix_bytes",
+    "qr_panel_bytes",
+    "qr_step_mflop",
+    "qr_steps",
+    "qr_total_mflop",
+]

@@ -1,0 +1,133 @@
+"""The EMAN refinement workflow (§3.3).
+
+"EMAN automates a portion [of] producing 3-D reconstructions of single
+particles from electron micrographs ...  the refinement from a
+preliminary model to the final model is fully automated.  This
+refinement process is the most computationally intensive step ...
+Figure 2 shows the components in the EMAN refinement workflow, which
+forms a linear graph in which some components can be parallelized."
+
+The refinement pipeline (one round), following EMAN's ``refine``
+driver: ``proc3d`` (prepare the model) -> ``project3d`` (generate
+reference projections; parallelizable) -> ``classesbymra`` (classify
+every particle against the projections; by far the dominant cost,
+embarrassingly parallel over particles) -> ``classalign2`` (align and
+average each class; parallel over classes) -> ``make3d`` (reconstruct
+the new model) -> ``eotest`` (resolution check).
+
+Costs are parameterized by particle count, class count and box size,
+with constants chosen to reproduce the published profile (classesbymra
+at ~90% of the round's compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..perfmodel.model import AnalyticComponentModel
+from ..scheduler.workflow import Workflow, WorkflowComponent
+from .kernels import BYTES_PER_ELEMENT
+
+__all__ = ["EmanParameters", "eman_refinement_workflow", "EMAN_STAGES"]
+
+#: the linear stage order of Figure 2
+EMAN_STAGES = ("proc3d", "project3d", "classesbymra", "classalign2",
+               "make3d", "eotest")
+
+
+@dataclass(frozen=True)
+class EmanParameters:
+    """Size knobs of one refinement round."""
+
+    n_particles: int = 20000
+    n_classes: int = 200
+    box_size: int = 64  # particle image is box_size^2 pixels
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 1 or self.n_classes < 1 or self.box_size < 4:
+            raise ValueError("implausible EMAN parameters")
+
+    # -- per-stage operation counts (Mflop) -----------------------------------
+    @property
+    def pixels(self) -> int:
+        return self.box_size * self.box_size
+
+    def proc3d_mflop(self) -> float:
+        """Volume preprocessing: ~100 ops per voxel."""
+        return 100.0 * self.box_size ** 3 / 1e6
+
+    def project3d_mflop(self) -> float:
+        """One projection per class: ~500 ops per projected pixel."""
+        return 500.0 * self.n_classes * self.pixels / 1e6
+
+    def classesbymra_mflop(self) -> float:
+        """Every particle aligned against every class projection:
+        ~200 ops per pixel per (particle, class) pair.  Dominant."""
+        return 200.0 * self.n_particles * self.n_classes * self.pixels / 1e6
+
+    def classalign2_mflop(self) -> float:
+        """Iterative alignment within each class: ~2000 ops/pixel/particle."""
+        return 2000.0 * self.n_particles * self.pixels / 1e6
+
+    def make3d_mflop(self) -> float:
+        """Fourier reconstruction from class averages."""
+        return 1000.0 * self.n_classes * self.pixels / 1e6 \
+            + 500.0 * self.box_size ** 3 / 1e6
+
+    def eotest_mflop(self) -> float:
+        """Even/odd resolution test: ~two half reconstructions."""
+        return 2.0 * self.make3d_mflop()
+
+    # -- data volumes ------------------------------------------------------------
+    def particle_stack_bytes(self) -> float:
+        return float(self.n_particles * self.pixels * BYTES_PER_ELEMENT)
+
+    def class_stack_bytes(self) -> float:
+        return float(self.n_classes * self.pixels * BYTES_PER_ELEMENT)
+
+    def volume_bytes(self) -> float:
+        return float(self.box_size ** 3 * BYTES_PER_ELEMENT)
+
+
+def eman_refinement_workflow(params: EmanParameters,
+                             classesbymra_tasks: int = 32,
+                             classalign_tasks: int = 16,
+                             project_tasks: int = 4) -> Workflow:
+    """Build one refinement round as a schedulable :class:`Workflow`.
+
+    Parallelizable stages are split into independent tasks, the way the
+    GrADS EMAN port farmed them out.
+    """
+    if classesbymra_tasks < 1 or classalign_tasks < 1 or project_tasks < 1:
+        raise ValueError("task counts must be >= 1")
+    wf = Workflow("eman-refinement")
+
+    def add(name: str, mflop: float, n_tasks: int,
+            input_bytes: float, output_bytes: float) -> None:
+        wf.add_component(WorkflowComponent(
+            name=name,
+            model=AnalyticComponentModel(mflop_fn=lambda _n, m=mflop: m),
+            problem_size=float(params.n_particles),
+            n_tasks=n_tasks,
+            input_bytes_per_task=input_bytes / n_tasks,
+            output_bytes_per_task=output_bytes / n_tasks,
+        ))
+
+    add("proc3d", params.proc3d_mflop(), 1,
+        params.volume_bytes(), params.volume_bytes())
+    add("project3d", params.project3d_mflop(), project_tasks,
+        params.volume_bytes(), params.class_stack_bytes())
+    add("classesbymra", params.classesbymra_mflop(), classesbymra_tasks,
+        params.particle_stack_bytes() + params.class_stack_bytes(),
+        params.particle_stack_bytes() / 10)
+    add("classalign2", params.classalign2_mflop(), classalign_tasks,
+        params.particle_stack_bytes(), params.class_stack_bytes())
+    add("make3d", params.make3d_mflop(), 1,
+        params.class_stack_bytes(), params.volume_bytes())
+    add("eotest", params.eotest_mflop(), 1,
+        params.class_stack_bytes(), params.volume_bytes())
+
+    for producer, consumer in zip(EMAN_STAGES, EMAN_STAGES[1:]):
+        wf.add_dependence(producer, consumer)
+    return wf

@@ -1,0 +1,87 @@
+"""Analytic cost kernels for the paper's applications.
+
+These are the closed-form operation counts that the §3.2 fitting
+pipeline recovers from instrumented runs; tests cross-check the fitted
+models against these formulas.
+
+QR: right-looking blocked Householder QR of an N x N matrix does
+~(4/3) N^3 flops.  Step j (panel width nb, trailing size m = N - j*nb)
+costs ~4 m^2 nb flops: the trailing-matrix update dominates.
+
+N-body: a direct-sum step over B bodies is B^2 pairwise interactions
+at ~INTERACTION_FLOPS flops each.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+__all__ = [
+    "qr_total_mflop",
+    "qr_steps",
+    "qr_step_mflop",
+    "qr_panel_bytes",
+    "qr_matrix_bytes",
+    "nbody_step_mflop",
+    "nbody_state_bytes",
+    "INTERACTION_FLOPS",
+    "BYTES_PER_ELEMENT",
+]
+
+BYTES_PER_ELEMENT = 8  # double precision
+INTERACTION_FLOPS = 20.0  # flops per body-body interaction
+
+
+# -- ScaLAPACK-style QR -------------------------------------------------------
+def qr_total_mflop(n: float) -> float:
+    """Total work of QR on an n x n matrix, in Mflop."""
+    if n < 0:
+        raise ValueError("matrix size must be non-negative")
+    return (4.0 / 3.0) * n ** 3 / 1e6
+
+
+def qr_steps(n: int, nb: int) -> int:
+    """Number of panel steps for matrix size n and block size nb."""
+    if n < 0 or nb <= 0:
+        raise ValueError("need n >= 0 and nb > 0")
+    return int(math.ceil(n / nb)) if n else 0
+
+
+def qr_step_mflop(n: int, nb: int, step: int) -> float:
+    """Work of panel step ``step`` (0-based), in Mflop.
+
+    4 * m^2 * nb with m the trailing-matrix size; the per-step series
+    sums to ~(4/3) n^3 like the true factorization.
+    """
+    total_steps = qr_steps(n, nb)
+    if not 0 <= step < max(total_steps, 1):
+        raise ValueError(f"step {step} out of range for {total_steps} steps")
+    m = n - step * nb
+    width = min(nb, m)
+    return 4.0 * m * m * width / 1e6
+
+
+def qr_panel_bytes(n: int, nb: int, step: int) -> float:
+    """Bytes of the factored panel broadcast at step ``step``."""
+    m = n - step * nb
+    width = min(nb, max(m, 0))
+    return max(m, 0) * width * BYTES_PER_ELEMENT
+
+
+def qr_matrix_bytes(n: int) -> float:
+    """Checkpoint volume: the matrix A plus the right-hand side B."""
+    return (n * n + n) * BYTES_PER_ELEMENT
+
+
+# -- N-body ---------------------------------------------------------------
+def nbody_step_mflop(n_bodies: int) -> float:
+    """Work of one direct-sum N-body step, in Mflop."""
+    if n_bodies < 0:
+        raise ValueError("body count must be non-negative")
+    return INTERACTION_FLOPS * n_bodies * n_bodies / 1e6
+
+
+def nbody_state_bytes(n_bodies: int) -> float:
+    """Positions + velocities + masses: 7 doubles per body."""
+    return 7 * n_bodies * BYTES_PER_ELEMENT

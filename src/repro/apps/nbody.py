@@ -1,0 +1,86 @@
+"""The N-body simulation used in the process-swapping demo (§4.2).
+
+A direct-sum N-body code: every iteration each rank computes the
+interactions of its body share against all bodies, then allgathers the
+updated positions.  It is launched as a :class:`SwappableJob` — more
+machines than active ranks — and calls the swap ``sync_point`` at every
+iteration boundary, which is where queued swaps take effect.
+
+Progress (iteration index vs virtual time) is recorded exactly as in
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..microgrid.host import Host
+from ..microgrid.network import Topology
+from ..mpi.comm import MpiContext
+from ..mpi.swap import SwappableJob
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+from .kernels import BYTES_PER_ELEMENT, nbody_state_bytes, nbody_step_mflop
+
+__all__ = ["NBodySimulation", "ProgressPoint"]
+
+
+@dataclass(frozen=True)
+class ProgressPoint:
+    """One (time, iteration) sample of application progress."""
+
+    time: float
+    iteration: int
+
+
+class NBodySimulation:
+    """A swappable N-body run over a machine pool."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 pool: Sequence[Host], active_n: int,
+                 n_bodies: int, n_iterations: int) -> None:
+        if n_bodies < 1 or n_iterations < 1:
+            raise ValueError("need at least one body and one iteration")
+        self.sim = sim
+        self.n_bodies = n_bodies
+        self.n_iterations = n_iterations
+        self.job = SwappableJob(
+            sim, topology, list(pool), active_n=active_n,
+            state_bytes_per_rank=nbody_state_bytes(n_bodies) / active_n,
+            name=f"nbody-{n_bodies}")
+        #: Figure 4 series: appended when the slowest rank finishes an iter
+        self.progress: List[ProgressPoint] = []
+        self._iter_reports: dict = {}
+        self.finished: Optional[Event] = None
+
+    def step_mflop_per_rank(self) -> float:
+        return nbody_step_mflop(self.n_bodies) / self.job.active_n
+
+    def exchange_bytes(self) -> float:
+        """Per-rank allgather payload: its share of positions (3 doubles)."""
+        return 3 * self.n_bodies * BYTES_PER_ELEMENT / self.job.active_n
+
+    def launch(self) -> Event:
+        if self.finished is not None:
+            raise RuntimeError("simulation already launched")
+        self.job.job.on_iteration(self._on_iteration)
+        self.finished = self.job.launch(self._body)
+        return self.finished
+
+    def _on_iteration(self, rank: int, iteration: int, seconds: float) -> None:
+        self._iter_reports[iteration] = self._iter_reports.get(iteration, 0) + 1
+        if self._iter_reports[iteration] == self.job.active_n:
+            self.progress.append(ProgressPoint(time=self.sim.now,
+                                               iteration=iteration + 1))
+
+    def _body(self, ctx: MpiContext):
+        work = self.step_mflop_per_rank()
+        payload = self.exchange_bytes()
+        for iteration in range(self.n_iterations):
+            t0 = self.sim.now
+            yield ctx.compute(work, tag=f"iter{iteration}")
+            yield from ctx.comm.allgather(ctx.rank, nbytes=payload)
+            yield from self.job.sync_point(ctx)
+            ctx.report_iteration(iteration, self.sim.now - t0)
+        return "done"

@@ -1,0 +1,69 @@
+"""The launcher: starts a bound COP on its scheduled resources.
+
+"If the application is an MPI application, then a global
+synchronization must be carried out as part of the MPI protocol at the
+beginning of the execution.  In this case, the binder returns control
+to the application manager which launches the application after
+synchronization.  In non-MPI applications, the binder launches the
+application and notifies the application manager when the program
+terminates." (§2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..gis.directory import GridInformationService
+from ..microgrid.network import Topology
+from ..mpi.comm import MpiJob
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+from ..cop.cop import ConfigurableObjectProgram
+
+__all__ = ["Launcher", "LaunchHandle", "MPI_STARTUP_SECONDS"]
+
+#: cost of the MPI global synchronization at startup
+MPI_STARTUP_SECONDS = 1.0
+
+
+@dataclass
+class LaunchHandle:
+    """A running (or finished) application instance."""
+
+    job: MpiJob
+    started_at: float
+    finished: Event
+
+
+class Launcher:
+    """Creates the MPI job for a bound COP and starts its rank bodies."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 gis: GridInformationService) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.gis = gis
+
+    def launch(self, cop: ConfigurableObjectProgram,
+               host_names: Sequence[str],
+               body) -> Event:
+        """Start ``body`` (a rank-body generator function) on the hosts.
+
+        Returns a process-event whose value is a :class:`LaunchHandle`;
+        it triggers once the application has *started* (after the MPI
+        synchronization), with ``handle.finished`` tracking completion.
+        """
+        if not host_names:
+            raise ValueError("empty host list")
+        hosts = [self.gis.host(name) for name in host_names]
+        return self.sim.process(self._run(cop, hosts, body),
+                                name=f"launch:{cop.name}")
+
+    def _run(self, cop: ConfigurableObjectProgram, hosts, body):
+        if cop.is_mpi:
+            yield self.sim.timeout(MPI_STARTUP_SECONDS)
+        job = MpiJob(self.sim, self.topology, hosts, name=cop.name)
+        finished = job.launch(body)
+        return LaunchHandle(job=job, started_at=self.sim.now,
+                            finished=finished)

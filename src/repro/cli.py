@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+::
+
+    python -m repro fig3  --sizes 6000,8000,10000
+    python -m repro fig4  --policy gang
+    python -m repro eman
+    python -m repro opportunistic
+    python -m repro describe path/to/grid.dml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.eman_demo import run_eman_demo
+from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
+from .experiments.fig4_swap import run_fig4
+from .experiments.opportunistic import run_opportunistic
+from .experiments.common import format_table
+from .microgrid.dml import parse_grid
+from .rescheduling.swapping import SWAP_POLICIES
+from .sim.kernel import Simulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GrADS scheduling/rescheduling reproduction (IPPS 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3: QR stop/restart sweep")
+    fig3.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)),
+                      help="comma-separated matrix sizes")
+    fig3.add_argument("--nb", type=int, default=200, help="panel width")
+    fig3.add_argument("--no-decisions", action="store_true",
+                      help="skip the default-mode decision replay")
+
+    fig4 = sub.add_parser("fig4", help="Figure 4: N-body process swapping")
+    fig4.add_argument("--policy", default="gang",
+                      choices=sorted(SWAP_POLICIES) + ["none"])
+    fig4.add_argument("--iterations", type=int, default=120)
+
+    sub.add_parser("eman", help="Section 3.3: EMAN workflow demo")
+
+    opp = sub.add_parser("opportunistic",
+                         help="Section 4.1.1: opportunistic rescheduling")
+    opp.add_argument("--disable", action="store_true",
+                     help="run the baseline without the daemon")
+
+    describe = sub.add_parser("describe",
+                              help="validate and summarize a DML topology")
+    describe.add_argument("path", help="DML file")
+    return parser
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    except ValueError:
+        print(f"bad --sizes value: {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes:
+        print("need at least one size", file=sys.stderr)
+        return 2
+    result = run_fig3(sizes=sizes, nb=args.nb,
+                      with_decisions=not args.no_decisions)
+    print(result.to_table())
+    if not args.no_decisions:
+        print()
+        print(result.decision_table())
+        print(f"\ncrossover size: {result.crossover_size()}")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    if args.policy == "none":
+        result = run_fig4(n_iterations=args.iterations, with_swapping=False)
+    else:
+        result = run_fig4(n_iterations=args.iterations, policy=args.policy)
+    print(result.to_series())
+    print(f"\nswaps: {[round(t, 1) for t in result.swap_times]} "
+          f"-> {result.swapped_to}")
+    print(f"finished at t={result.finished_at:.1f} s "
+          f"(policy: {result.policy})")
+    return 0
+
+
+def _cmd_eman(_args: argparse.Namespace) -> int:
+    result = run_eman_demo()
+    print(result.to_table())
+    print(f"\nexecuted {result.chosen_heuristic}: "
+          f"{result.measured_makespan:.1f} s on {result.resources_used} "
+          f"resources, ISAs {result.isas_used}")
+    return 0
+
+
+def _cmd_opportunistic(args: argparse.Namespace) -> int:
+    result = run_opportunistic(enable=not args.disable)
+    print(format_table(
+        ["A done (s)", "B done (s)", "B migrations", "B final cluster"],
+        [[result.a_finished_at, result.b_finished_at,
+          result.b_migrations, result.b_final_cluster]],
+        title=("opportunistic daemon "
+               + ("off" if args.disable else "on"))))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    sim = Simulator()
+    grid = parse_grid(text, sim)
+    rows = []
+    for name, cluster in sorted(grid.clusters.items()):
+        rows.append([name, len(cluster), cluster.arch.name,
+                     f"{cluster.arch.mflops:.0f}", cluster.arch.isa])
+    for name, host in sorted(grid.standalone_hosts.items()):
+        rows.append([name, 1, host.arch.name,
+                     f"{host.arch.mflops:.0f}", host.arch.isa])
+    print(format_table(
+        ["cluster/host", "nodes", "arch", "Mflop/s per node", "isa"],
+        rows, title=f"{args.path}: {len(grid.all_hosts())} hosts"))
+    return 0
+
+
+_COMMANDS = {
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "eman": _cmd_eman,
+    "opportunistic": _cmd_opportunistic,
+    "describe": _cmd_describe,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

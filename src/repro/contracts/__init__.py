@@ -1,0 +1,30 @@
+"""Performance contracts and Autopilot-style monitoring."""
+
+from .autopilot import Actuator, AutopilotManager, Sensor, SensorReading
+from .contract import ContractViolation, PerformanceContract
+from .fuzzy import (
+    FuzzyEngine,
+    FuzzyRule,
+    FuzzyVariable,
+    Trapezoid,
+    contract_violation_engine,
+)
+from .monitor import ContractMonitor, MigrationRequest
+from .viewer import ContractViewer
+
+__all__ = [
+    "Actuator",
+    "AutopilotManager",
+    "ContractMonitor",
+    "ContractViewer",
+    "ContractViolation",
+    "FuzzyEngine",
+    "FuzzyRule",
+    "FuzzyVariable",
+    "MigrationRequest",
+    "PerformanceContract",
+    "Sensor",
+    "SensorReading",
+    "Trapezoid",
+    "contract_violation_engine",
+]

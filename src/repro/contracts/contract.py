@@ -1,0 +1,67 @@
+"""Performance contracts (Vraalsen et al.; paper §1, §4.1.1).
+
+A contract "specif[ies] an agreement between application demands and
+resource capabilities": for each execution phase (an iteration, a
+panel factorization step, ...) the model-predicted duration on the
+scheduled resources.  The monitor compares measured durations against
+these predictions as ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["PerformanceContract", "ContractViolation"]
+
+
+@dataclass(frozen=True)
+class ContractViolation:
+    """Recorded when measured performance leaves the tolerance band."""
+
+    time: float
+    phase: int
+    ratio: float
+    average_ratio: float
+    kind: str  # "slow" or "fast"
+
+
+@dataclass
+class PerformanceContract:
+    """Predicted phase durations plus the tolerance band around ratio 1.
+
+    ``predicted_fn(phase_index)`` -> predicted seconds for that phase.
+    ``upper``/``lower`` are the initial tolerance limits on the
+    measured/predicted ratio; the monitor adjusts copies of these at
+    run time (§4.1.1), never the contract itself.
+    """
+
+    predicted_fn: Callable[[int], float]
+    upper: float = 1.5
+    lower: float = 0.5
+    violations: List[ContractViolation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lower < self.upper:
+            raise ValueError(
+                f"need 0 < lower < upper, got {self.lower}, {self.upper}")
+
+    def predicted(self, phase: int) -> float:
+        value = self.predicted_fn(phase)
+        if value <= 0:
+            raise ValueError(f"non-positive prediction for phase {phase}")
+        return value
+
+    def ratio(self, phase: int, measured_seconds: float) -> float:
+        """Measured over predicted: >1 is slower than promised."""
+        if measured_seconds < 0:
+            raise ValueError("negative measured time")
+        return measured_seconds / self.predicted(phase)
+
+    def record_violation(self, violation: ContractViolation) -> None:
+        self.violations.append(violation)
+
+    def update_terms(self, predicted_fn: Callable[[int], float]) -> None:
+        """Renegotiate the contract after a migration — "the rescheduler
+        may contact the contract monitor to update the terms" (§4)."""
+        self.predicted_fn = predicted_fn

@@ -1,0 +1,110 @@
+"""A text-mode Contract Viewer.
+
+"GrADS incorporates a variety of utilities associated with contract
+monitoring, including a Java-based Contract Viewer GUI to visualize the
+performance contract validation activity in real-time" (§1).  This is
+that utility for a terminal: a timeline of measured/predicted ratios
+against the (possibly adapting) tolerance band, with violations and
+migration requests called out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .monitor import ContractMonitor
+
+__all__ = ["ContractViewer"]
+
+_GLYPH_IN_BAND = "*"
+_GLYPH_ABOVE = "!"
+_GLYPH_BELOW = "v"
+
+
+@dataclass
+class _Sample:
+    phase: int
+    ratio: float
+    upper: float
+    lower: float
+
+
+class ContractViewer:
+    """Record a monitor's activity and render it as an ASCII chart.
+
+    Attach before the run starts::
+
+        viewer = ContractViewer(monitor)
+        ... run the application ...
+        print(viewer.render())
+    """
+
+    def __init__(self, monitor: ContractMonitor) -> None:
+        self.monitor = monitor
+        self._samples: List[_Sample] = []
+        self._wrap(monitor)
+
+    def _wrap(self, monitor: ContractMonitor) -> None:
+        original = monitor.report_phase
+
+        def recording_report(phase: int, measured_seconds: float) -> None:
+            suspended = monitor._suspended
+            # Snapshot the band *before* the report: the monitor may
+            # adjust its limits in response to this very sample, and the
+            # chart should show the band the sample was judged against.
+            upper, lower = monitor.upper, monitor.lower
+            original(phase, measured_seconds)
+            if suspended:
+                return
+            try:
+                ratio = monitor.contract.ratio(phase, measured_seconds)
+            except ValueError:
+                return
+            self._samples.append(_Sample(
+                phase=phase, ratio=ratio, upper=upper, lower=lower))
+
+        monitor.report_phase = recording_report  # type: ignore[method-assign]
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def render(self, width: int = 60, max_ratio: float = 4.0) -> str:
+        """One line per phase: ratio position in [0, max_ratio], the
+        tolerance band edges as ``[`` and ``]``, violations flagged."""
+        if not self._samples:
+            return "(no contract activity recorded)"
+        request_phases = {r.phase for r in self.monitor.requests}
+        adjust_count = len(self.monitor.limit_adjustments)
+        lines = [
+            f"Contract Viewer — {len(self._samples)} phases, "
+            f"{len(self.monitor.requests)} migration request(s), "
+            f"{adjust_count} tolerance adjustment(s)",
+            f"scale: 0 .. {max_ratio:.1f} (measured/predicted ratio)",
+        ]
+        for sample in self._samples:
+            row = [" "] * width
+            low = self._column(sample.lower, width, max_ratio)
+            high = self._column(sample.upper, width, max_ratio)
+            row[low] = "["
+            row[high] = "]"
+            pos = self._column(sample.ratio, width, max_ratio)
+            if sample.ratio > sample.upper:
+                glyph = _GLYPH_ABOVE
+            elif sample.ratio < sample.lower:
+                glyph = _GLYPH_BELOW
+            else:
+                glyph = _GLYPH_IN_BAND
+            row[pos] = glyph
+            note = ""
+            if sample.phase in request_phases:
+                note = "  <- migration requested"
+            lines.append(f"phase {sample.phase:4d} |{''.join(row)}|"
+                         f" {sample.ratio:5.2f}{note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _column(value: float, width: int, max_ratio: float) -> int:
+        clamped = min(max(value, 0.0), max_ratio)
+        return min(int(clamped / max_ratio * (width - 1)), width - 1)

@@ -1,0 +1,13 @@
+"""Configurable Object Programs: application + mapper + performance model."""
+
+from .cop import CompilationPackage, ConfigurableObjectProgram
+from .mapper import ClusterMapper, FastestSubsetMapper, Mapper, MapperError
+
+__all__ = [
+    "ClusterMapper",
+    "CompilationPackage",
+    "ConfigurableObjectProgram",
+    "FastestSubsetMapper",
+    "Mapper",
+    "MapperError",
+]

@@ -1,0 +1,63 @@
+"""Configurable Object Programs.
+
+"Applications are encapsulated as configurable object programs (COPs),
+which can be optimized rapidly for execution on a specific collection
+of Grid resources.  A COP includes code for the application (e.g. an
+MPI program), a mapper that determines how to map an application's
+tasks to a set of resources, and an executable performance model that
+estimates the application's performance on a set of resources." (§1)
+
+Here the "code" is a rank-body factory (a generator function over
+:class:`~repro.mpi.comm.MpiContext`), packaged together with the mapper,
+the performance model, the software the binder must locate, and the
+compilation package the binder ships to each target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..microgrid.host import Architecture
+from ..perfmodel.model import ComponentModel
+from .mapper import Mapper
+
+__all__ = ["CompilationPackage", "ConfigurableObjectProgram"]
+
+
+@dataclass(frozen=True)
+class CompilationPackage:
+    """What the binder ships to every target machine (§2): the source in
+    intermediate representation, required libraries, and a configure
+    script — summarized here by their costs."""
+
+    ir_bytes: float = 2e6  # size of the IR + configure script
+    required_packages: Tuple[str, ...] = ()
+    configure_seconds: float = 2.0  # fixed configure-script time
+    compile_mflop: float = 2000.0  # compilation work, runs on the target
+
+
+@dataclass
+class ConfigurableObjectProgram:
+    """An application ready for GrADS execution."""
+
+    name: str
+    #: ``body_factory(problem_size, extras...)`` -> rank body generator fn
+    body_factory: Callable
+    mapper: Mapper
+    model: ComponentModel
+    package: CompilationPackage = field(default_factory=CompilationPackage)
+    #: how many processes the program wants (None = mapper's choice)
+    n_procs: int = 1
+    is_mpi: bool = True
+
+    def predicted_seconds(self, n: float, arch: Architecture,
+                          availability: float = 1.0,
+                          n_procs: Optional[int] = None) -> float:
+        """Model estimate of execution time on ``n_procs`` nodes of
+        ``arch``; ideal parallel efficiency is the model's baseline and
+        per-application models override this when they know better."""
+        procs = n_procs if n_procs is not None else self.n_procs
+        if procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        return self.model.cpu_seconds(n, arch, availability) / procs

@@ -1,0 +1,119 @@
+"""COP mappers: choosing which resources an application runs on.
+
+"A COP includes ... a mapper that determines how to map an
+application's tasks to a set of resources" (§1).  Mappers consume GIS
+records and NWS forecasts, and return an ordered host-name list.  The
+mapper is what both the launch-time scheduler and the rescheduler call
+to propose candidate resource sets (§4: "the rescheduler computes a new
+schedule (using the COP's mapper)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..gis.directory import GridInformationService, ResourceRecord
+from ..nws.service import NetworkWeatherService
+
+__all__ = ["Mapper", "FastestSubsetMapper", "ClusterMapper", "MapperError"]
+
+
+class MapperError(RuntimeError):
+    """Raised when no feasible mapping exists."""
+
+
+class Mapper:
+    """Interface: propose an ordered host list for ``n_procs`` processes."""
+
+    def map(self, gis: GridInformationService, nws: NetworkWeatherService,
+            n_procs: int,
+            exclude: Sequence[str] = ()) -> List[str]:
+        raise NotImplementedError
+
+
+def effective_mflops(record: ResourceRecord,
+                     nws: NetworkWeatherService) -> float:
+    """A host's deliverable rate: peak Mflop/s times forecast availability."""
+    return record.mflops * nws.cpu_forecast(record.name)
+
+
+@dataclass
+class FastestSubsetMapper:
+    """Pick the ``n_procs`` hosts with the highest effective speed.
+
+    Suits loosely coupled components; ignores locality entirely, which
+    is why tightly coupled codes use :class:`ClusterMapper` instead.
+    """
+
+    min_memory_bytes: int = 0
+
+    def map(self, gis: GridInformationService, nws: NetworkWeatherService,
+            n_procs: int, exclude: Sequence[str] = ()) -> List[str]:
+        if n_procs < 1:
+            raise MapperError("need at least one process")
+        banned = set(exclude)
+        candidates = [r for r in gis.resources()
+                      if r.name not in banned
+                      and r.memory_bytes >= self.min_memory_bytes]
+        if len(candidates) < n_procs:
+            raise MapperError(
+                f"only {len(candidates)} eligible hosts for {n_procs} procs")
+        ranked = sorted(candidates,
+                        key=lambda r: (-effective_mflops(r, nws), r.name))
+        return [r.name for r in ranked[:n_procs]]
+
+
+@dataclass
+class ClusterMapper:
+    """Pick the best single cluster, the way the GrADS ScaLAPACK runs
+    chose "the more powerful UTK cluster" (§4.1.2).
+
+    Scores each cluster that can seat ``n_procs`` processes by the
+    aggregate effective speed of its ``n_procs`` best hosts, discounted
+    by how well connected the cluster is to ``data_source`` (where the
+    input data, or checkpoint, currently lives).
+    """
+
+    data_source: Optional[str] = None
+    data_bytes: float = 0.0
+    min_memory_bytes: int = 0
+
+    def map(self, gis: GridInformationService, nws: NetworkWeatherService,
+            n_procs: int, exclude: Sequence[str] = ()) -> List[str]:
+        if n_procs < 1:
+            raise MapperError("need at least one process")
+        banned = set(exclude)
+        by_cluster: Dict[str, List[ResourceRecord]] = {}
+        for record in gis.resources():
+            if record.cluster is None or record.name in banned:
+                continue
+            if record.memory_bytes < self.min_memory_bytes:
+                continue
+            by_cluster.setdefault(record.cluster, []).append(record)
+        best_hosts: Optional[List[str]] = None
+        best_score = float("-inf")
+        for cluster_name in sorted(by_cluster):
+            members = by_cluster[cluster_name]
+            if len(members) < n_procs:
+                continue
+            members = sorted(members,
+                             key=lambda r: (-effective_mflops(r, nws), r.name))
+            chosen = members[:n_procs]
+            speed = sum(effective_mflops(r, nws) for r in chosen)
+            penalty = 0.0
+            if self.data_source is not None and self.data_bytes > 0:
+                move = nws.transfer_forecast(self.data_source,
+                                             chosen[0].name, self.data_bytes)
+                # Convert the one-time move into a rate-equivalent
+                # penalty: Mflop/s lost per second of data movement,
+                # normalized by a nominal 60 s horizon.
+                penalty = speed * (move / (move + 60.0))
+            score = speed - penalty
+            if score > best_score:
+                best_score = score
+                best_hosts = [r.name for r in chosen]
+        if best_hosts is None:
+            raise MapperError(
+                f"no cluster can seat {n_procs} processes")
+        return best_hosts

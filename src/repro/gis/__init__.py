@@ -1,0 +1,25 @@
+"""Grid Information Service: resource directory and software registry."""
+
+from .directory import GISError, GridInformationService, ResourceRecord
+from .software import SoftwareNotFound, SoftwarePackage, SoftwareRegistry
+from .vgrid import (
+    Tightness,
+    VgridError,
+    VgridSpec,
+    VirtualGrid,
+    find_and_bind,
+)
+
+__all__ = [
+    "GISError",
+    "GridInformationService",
+    "ResourceRecord",
+    "SoftwareNotFound",
+    "SoftwarePackage",
+    "SoftwareRegistry",
+    "Tightness",
+    "VgridError",
+    "VgridSpec",
+    "VirtualGrid",
+    "find_and_bind",
+]

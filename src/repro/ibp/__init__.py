@@ -1,0 +1,5 @@
+"""IBP network storage."""
+
+from .depot import Allocation, Depot, DepotError
+
+__all__ = ["Allocation", "Depot", "DepotError"]

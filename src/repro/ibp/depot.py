@@ -1,0 +1,160 @@
+"""Internet Backplane Protocol storage depots.
+
+"The SRS library uses the Internet Backplane Protocol (IBP) for
+checkpoint data storage" (§4.1.1), and in the Figure 3 experiments
+"checkpoints are written to IBP storage on local disks" — which is why
+checkpoint *writing* is cheap while checkpoint *reading* from another
+cluster "involves moving data across the Internet" and dominates.
+
+A depot lives on one host: writes/reads from that host hit only the
+disk; remote access pays a network transfer plus the disk, pipelined
+(the slower of the two stages bounds the time; we charge
+max(network, disk) + latency, a standard store-and-stream model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..microgrid.host import Host
+from ..microgrid.network import Topology
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+
+__all__ = ["Depot", "DepotError", "Allocation"]
+
+
+class DepotError(RuntimeError):
+    """Raised for missing allocations or capacity violations."""
+
+
+@dataclass
+class Allocation:
+    """A named byte range stored in a depot."""
+
+    key: str
+    nbytes: float
+    written_at: float
+
+
+class Depot:
+    """IBP storage attached to one host's local disks."""
+
+    def __init__(self, sim: Simulator, topology: Topology, host: Host,
+                 capacity_bytes: float = 100e9) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.host = host
+        self.capacity_bytes = float(capacity_bytes)
+        self._allocations: Dict[str, Allocation] = {}
+
+    # -- bookkeeping ----------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    def has(self, key: str) -> bool:
+        return key in self._allocations
+
+    def allocation(self, key: str) -> Allocation:
+        try:
+            return self._allocations[key]
+        except KeyError:
+            raise DepotError(f"no allocation {key!r} in depot "
+                             f"{self.host.name}") from None
+
+    def delete(self, key: str) -> None:
+        if key not in self._allocations:
+            raise DepotError(f"no allocation {key!r} to delete")
+        del self._allocations[key]
+
+    # -- data movement -----------------------------------------------------------
+    def write(self, src_host_name: str, key: str, nbytes: float) -> Event:
+        """Store ``nbytes`` arriving from ``src_host_name`` under ``key``.
+
+        The returned event triggers when the data is durable; its value
+        is the elapsed seconds.
+        """
+        if nbytes < 0:
+            raise DepotError("negative write size")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DepotError(
+                f"depot {self.host.name} over capacity "
+                f"({self.used_bytes + nbytes:.0f} > {self.capacity_bytes:.0f})")
+        done = self.sim.event(name=f"ibp-write:{key}")
+        if not self.host.alive:
+            done.fail(DepotError(
+                f"depot host {self.host.name} is down"))
+            return done
+        start = self.sim.now
+        disk_seconds = nbytes / self.host.disk_write_bw
+
+        if src_host_name == self.host.name:
+            total = disk_seconds
+            latency = 0.0
+        else:
+            net_seconds = nbytes / self._path_bw(src_host_name, self.host.name)
+            latency = self.topology.path_latency(src_host_name, self.host.name)
+            total = max(disk_seconds, net_seconds)
+
+        def finish() -> None:
+            self._allocations[key] = Allocation(key=key, nbytes=nbytes,
+                                                written_at=self.sim.now)
+            done.succeed(self.sim.now - start)
+
+        self.sim.call_after(latency + total, finish)
+        return done
+
+    def read(self, dst_host_name: str, key: str) -> Event:
+        """Deliver allocation ``key`` to ``dst_host_name``.
+
+        Remote reads stream through the real network (so they contend
+        with other traffic); the local disk stage is charged only if it
+        is the bottleneck.
+        """
+        return self.read_partial(dst_host_name, key,
+                                 self.allocation(key).nbytes)
+
+    def read_partial(self, dst_host_name: str, key: str,
+                     nbytes: float) -> Event:
+        """Deliver the first ``nbytes`` of allocation ``key``.
+
+        SRS uses this for N-to-M redistribution reads, where a restarted
+        rank needs only part of each old rank's partition.
+        """
+        allocation = self.allocation(key)
+        if nbytes < 0 or nbytes > allocation.nbytes + 1e-6:
+            raise DepotError(
+                f"partial read of {nbytes} from {allocation.nbytes}-byte "
+                f"allocation {key!r}")
+        done = self.sim.event(name=f"ibp-read:{key}")
+        if not self.host.alive:
+            done.fail(DepotError(
+                f"depot host {self.host.name} is down"))
+            return done
+        start = self.sim.now
+        disk_seconds = nbytes / self.host.disk_read_bw
+
+        if dst_host_name == self.host.name:
+            self.sim.call_after(disk_seconds,
+                                lambda: done.succeed(self.sim.now - start))
+            return done
+
+        transfer = self.topology.transfer(self.host.name, dst_host_name,
+                                          nbytes, tag=f"ibp:{key}")
+
+        def finish(_ev: Event) -> None:
+            elapsed = self.sim.now - start
+            extra = max(disk_seconds - elapsed, 0.0)
+            if extra > 0:
+                self.sim.call_after(
+                    extra, lambda: done.succeed(self.sim.now - start))
+            else:
+                done.succeed(elapsed)
+
+        transfer.add_callback(finish)
+        return done
+
+    def _path_bw(self, src: str, dst: str) -> float:
+        return self.topology.path_bottleneck_bw(src, dst)

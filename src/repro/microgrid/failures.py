@@ -1,0 +1,71 @@
+"""Host failure injection.
+
+Fault tolerance is the paper's named future-work item (§5: the VGrADS
+follow-on adds "new capabilities, such as fault tolerance").  This
+module provides the substrate: hosts can crash (killing their running
+tasks) and recover, on a schedule or stochastically.  The SRS
+checkpoint library plus the application manager's recovery path (see
+``repro.apps.qr.QrRun``) turn those crashes into restart-from-
+checkpoint instead of lost work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.kernel import Simulator
+from .host import Host, HostFailure
+
+__all__ = ["HostFailure", "ScheduledFailure", "RandomFailureInjector"]
+
+
+@dataclass
+class ScheduledFailure:
+    """Crash a host at a fixed time, optionally recovering later."""
+
+    host: Host
+    at: float
+    recover_at: Optional[float] = None
+
+    def install(self, sim: Simulator) -> None:
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recovery must come after the failure")
+        sim.call_at(self.at, self.host.fail)
+        if self.recover_at is not None:
+            sim.call_at(self.recover_at, self.host.recover)
+
+
+class RandomFailureInjector:
+    """Exponential failure/repair process over a set of hosts.
+
+    Each host independently alternates up/down with exponentially
+    distributed durations (MTBF / MTTR), the standard availability
+    model for long-running grid studies.
+    """
+
+    def __init__(self, hosts: Sequence[Host], rng: np.random.Generator,
+                 mtbf: float, mttr: float) -> None:
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("MTBF and MTTR must be positive")
+        self.hosts = list(hosts)
+        self.rng = rng
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.failures: List[tuple] = []  # (time, host_name)
+
+    def install(self, sim: Simulator) -> None:
+        for host in self.hosts:
+            sim.process(self._drive(sim, host), name=f"failures:{host.name}")
+
+    def _drive(self, sim: Simulator, host: Host):
+        while True:
+            yield sim.timeout(float(self.rng.exponential(self.mtbf)))
+            if host.alive:
+                host.fail()
+                self.failures.append((sim.now, host.name))
+            yield sim.timeout(float(self.rng.exponential(self.mttr)))
+            if not host.alive:
+                host.recover()

@@ -1,0 +1,275 @@
+"""Network topology and max-min fair flow simulation.
+
+The MicroGrid paper emulates wide-area links with an online network
+simulator; we reproduce the behaviour that matters to scheduling and
+rescheduling decisions: per-path latency and *shared* bandwidth.  Every
+transfer is a flow routed over the shortest path (by latency) between
+two hosts; link capacities are divided among the flows crossing them by
+progressive-filling **max-min fairness**, recomputed whenever a flow
+starts or finishes.
+
+Capacities are in bytes/s, latencies in seconds, transfers in bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+from .host import Host
+
+__all__ = ["Link", "Topology", "Flow", "NetworkError"]
+
+_EPS = 1e-9
+
+
+class NetworkError(RuntimeError):
+    """Raised for malformed topologies or unroutable transfers."""
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional network link (each direction has full capacity)."""
+
+    a: str
+    b: str
+    bandwidth: float  # bytes/s
+    latency: float  # seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("link latency must be non-negative")
+
+
+@dataclass
+class Flow:
+    """An in-flight transfer."""
+
+    src: str
+    dst: str
+    path: Tuple[Tuple[str, str], ...]  # directed edges as ordered node pairs
+    remaining: float  # bytes
+    event: Event
+    allocation: float = 0.0  # bytes/s currently granted
+    started_at: float = 0.0
+    total: float = 0.0
+
+
+class Topology:
+    """A routed grid network carrying max-min fair flows.
+
+    Nodes are strings (host names and router names); hosts must be
+    attached via :meth:`attach_host` before they can transfer.  Local
+    (same-host) transfers complete at ``local_copy_bw``.
+    """
+
+    def __init__(self, sim: Simulator, local_copy_bw: float = 1e9) -> None:
+        self.sim = sim
+        self.graph = nx.Graph()
+        self.local_copy_bw = float(local_copy_bw)
+        self._hosts: Dict[str, Host] = {}
+        self._flows: List[Flow] = []
+        self._last_update = sim.now
+        self._epoch = 0
+        self._paths: Optional[dict] = None  # routing cache
+        #: cumulative bytes delivered (for accounting/benchmarks)
+        self.bytes_delivered = 0.0
+
+    # -- construction -----------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        """Add a routing-only node (e.g. a WAN router)."""
+        self.graph.add_node(name)
+        self._paths = None
+
+    def attach_host(self, host: Host) -> None:
+        """Register a host as an endpoint node."""
+        if host.name in self._hosts:
+            raise NetworkError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        self.graph.add_node(host.name)
+        self._paths = None
+
+    def add_link(self, a: str, b: str, bandwidth: float, latency: float) -> Link:
+        """Connect two nodes with a bidirectional link."""
+        link = Link(a, b, bandwidth, latency)
+        self.graph.add_edge(a, b, bandwidth=float(bandwidth),
+                            latency=float(latency))
+        self._paths = None
+        return link
+
+    def host(self, name: str) -> Host:
+        """Look up an attached host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    # -- routing ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> List[str]:
+        """Shortest path by latency between two nodes."""
+        if self._paths is None:
+            self._paths = {}
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            try:
+                path = nx.shortest_path(self.graph, src, dst, weight="latency")
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise NetworkError(f"no route {src!r} -> {dst!r}") from exc
+            self._paths[key] = path
+        return path
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """One-way latency along the routed path (0 for local)."""
+        if src == dst:
+            return 0.0
+        path = self.route(src, dst)
+        return sum(self.graph.edges[u, v]["latency"]
+                   for u, v in zip(path, path[1:]))
+
+    def path_bottleneck_bw(self, src: str, dst: str) -> float:
+        """Raw bottleneck capacity along the path, ignoring other flows."""
+        if src == dst:
+            return self.local_copy_bw
+        path = self.route(src, dst)
+        return min(self.graph.edges[u, v]["bandwidth"]
+                   for u, v in zip(path, path[1:]))
+
+    def estimate_transfer_seconds(self, src: str, dst: str, nbytes: float) -> float:
+        """Latency + bytes/bottleneck estimate, as an NWS client would make.
+
+        This deliberately ignores current contention: it is the number a
+        scheduler computes from NWS latency/bandwidth reports.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.path_latency(src, dst) + nbytes / self.path_bottleneck_bw(src, dst)
+
+    # -- transfers -------------------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: float, tag: str = "") -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; event triggers on arrival.
+
+        The event value is the elapsed transfer time in seconds.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        ev = self.sim.event(name=f"xfer:{src}->{dst}:{tag}")
+        start = self.sim.now
+        if src == dst:
+            delay = nbytes / self.local_copy_bw
+            self.sim.call_after(delay, lambda: ev.succeed(self.sim.now - start))
+            return ev
+        path_nodes = self.route(src, dst)
+        latency = self.path_latency(src, dst)
+        if nbytes == 0:
+            self.sim.call_after(latency, lambda: ev.succeed(self.sim.now - start))
+            return ev
+        edges = tuple(zip(path_nodes, path_nodes[1:]))
+        flow = Flow(src=src, dst=dst, path=edges, remaining=float(nbytes),
+                    event=ev, started_at=start, total=float(nbytes))
+        # The first byte spends `latency` in the pipe before streaming
+        # begins; model it as a delayed flow start.
+        self.sim.call_after(latency, lambda: self._start_flow(flow))
+        return ev
+
+    # -- max-min fair sharing ------------------------------------------------------
+    def _start_flow(self, flow: Flow) -> None:
+        self._settle()
+        self._flows.append(flow)
+        self._reallocate()
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows:
+                moved = flow.allocation * dt
+                flow.remaining -= moved
+                self.bytes_delivered += moved
+        self._last_update = now
+
+    def _edge_key(self, u: str, v: str) -> Tuple[str, str]:
+        # Links are full duplex: each direction is an independent capacity.
+        return (u, v)
+
+    def _reallocate(self) -> None:
+        """Progressive-filling max-min fair allocation across all flows."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        # Residual capacity per directed edge and the unfixed flows on it.
+        residual: Dict[Tuple[str, str], float] = {}
+        users: Dict[Tuple[str, str], List[Flow]] = {}
+        for flow in self._flows:
+            flow.allocation = 0.0
+            for u, v in flow.path:
+                key = self._edge_key(u, v)
+                residual.setdefault(key, self.graph.edges[u, v]["bandwidth"])
+                users.setdefault(key, []).append(flow)
+        unfixed = set(map(id, self._flows))
+        flows_by_id = {id(f): f for f in self._flows}
+        while unfixed:
+            # Find the bottleneck: the edge with the smallest fair share.
+            best_key, best_share = None, math.inf
+            for key, flows in users.items():
+                active = [f for f in flows if id(f) in unfixed]
+                if not active:
+                    continue
+                share = residual[key] / len(active)
+                if share < best_share:
+                    best_share, best_key = share, key
+            if best_key is None:
+                break  # remaining flows cross no constrained edge
+            saturated = [f for f in users[best_key] if id(f) in unfixed]
+            for flow in saturated:
+                flow.allocation = best_share
+                unfixed.discard(id(flow))
+                for u, v in flow.path:
+                    key = self._edge_key(u, v)
+                    residual[key] = max(residual[key] - best_share, 0.0)
+        del flows_by_id
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.allocation > 0:
+                horizon = min(horizon, flow.remaining / flow.allocation)
+        if math.isinf(horizon):
+            return
+        epoch = self._epoch
+        self.sim.call_after(max(horizon, 0.0), lambda: self._wake(epoch))
+
+    def _wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return
+        self._settle()
+        # Two completion criteria: the work is relatively drained, or the
+        # residual would drain within a nanosecond at the current rate.
+        # The latter absorbs the absolute float error of time deltas
+        # (|now| * eps * rate), which can exceed any relative threshold
+        # and would otherwise cause sub-ulp wakeup livelocks.
+        finished = [f for f in self._flows
+                    if f.remaining <= _EPS * f.total
+                    or (f.allocation > 0
+                        and f.remaining <= f.allocation * 1e-9)]
+        for flow in finished:
+            self._flows.remove(flow)
+        self._reallocate()
+        for flow in finished:
+            flow.event.succeed(self.sim.now - flow.started_at)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)

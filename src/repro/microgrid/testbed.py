@@ -1,0 +1,152 @@
+"""Canonical GrADS testbed definitions.
+
+Three virtual grids used throughout the reproduction:
+
+* :func:`grads_macrogrid` — the full MacroGrid of §1: clusters at UCSD
+  (10 machines), UTK (2 x 12), UIUC (2 x 12) and UH (24), joined by
+  Internet links.
+* :func:`fig3_testbed` — the §4.1.2 stop/restart experiment: 4 UTK
+  933 MHz dual-PIII nodes on 100 Mb switched Ethernet and 8 UIUC
+  450 MHz PII nodes on 1.28 Gb Myrinet, connected via the Internet.
+* :func:`fig4_testbed` — the §4.2 MicroGrid swap experiment: 3 UTK
+  550 MHz PII + 3 UIUC 450 MHz PII clusters on Gigabit Ethernet and a
+  lone 1.7 GHz Athlon at UCSD; 30 ms UCSD<->site latency, 11 ms
+  UTK<->UIUC latency.
+
+Clock-speed-to-Mflop/s conversion: these are late-90s x86 parts running
+dense kernels at well under one flop per cycle; we use the conventional
+~0.4 flop/cycle sustained figure for ScaLAPACK-era BLAS, which keeps the
+*ratios* between machines (what the scheduler actually consumes) equal
+to the paper's clock ratios.
+"""
+
+from __future__ import annotations
+
+from ..sim.kernel import Simulator
+from .cluster import Cluster
+from .dml import Grid
+from .host import Architecture, CacheLevel, Host
+
+__all__ = [
+    "ARCH_PIII_933",
+    "ARCH_PII_550",
+    "ARCH_PII_450",
+    "ARCH_ATHLON_1700",
+    "ARCH_IA64_900",
+    "grads_macrogrid",
+    "fig3_testbed",
+    "fig4_testbed",
+    "heterogeneous_testbed",
+]
+
+_SUSTAINED = 0.4  # sustained flops per cycle for dense kernels
+
+ARCH_PIII_933 = Architecture(
+    name="pentium3-933", mflops=933 * _SUSTAINED, isa="ia32",
+    caches=(CacheLevel(size=256 * 1024),), memory_bytes=1 << 30)
+ARCH_PII_550 = Architecture(
+    name="pentium2-550", mflops=550 * _SUSTAINED, isa="ia32",
+    caches=(CacheLevel(size=512 * 1024),), memory_bytes=512 << 20)
+ARCH_PII_450 = Architecture(
+    name="pentium2-450", mflops=450 * _SUSTAINED, isa="ia32",
+    caches=(CacheLevel(size=512 * 1024),), memory_bytes=512 << 20)
+ARCH_ATHLON_1700 = Architecture(
+    name="athlon-1700", mflops=1700 * _SUSTAINED, isa="ia32",
+    caches=(CacheLevel(size=256 * 1024),), memory_bytes=1 << 30)
+ARCH_IA64_900 = Architecture(
+    name="itanium2-900", mflops=900 * 2 * _SUSTAINED, isa="ia64",
+    caches=(CacheLevel(size=1536 * 1024),), memory_bytes=2 << 30)
+
+MB100 = 12.5e6  # 100 Mb Ethernet in bytes/s
+GB1 = 125e6  # Gigabit Ethernet
+MYRINET = 160e6  # 1.28 Gb/s full-duplex Myrinet
+INTERNET_BW = 5e6  # conservative 2003 cross-country Internet path
+
+
+def fig3_testbed(sim: Simulator, internet_bw: float = INTERNET_BW,
+                 internet_lat: float = 0.011) -> Grid:
+    """The QR stop/restart testbed of §4.1.2."""
+    grid = Grid(sim)
+    utk = grid.add_cluster(Cluster(
+        sim, grid.topology, "utk", arch=ARCH_PIII_933, n_hosts=4,
+        cores_per_host=2, link_bandwidth=MB100, link_latency=1e-4,
+        site="UTK"))
+    uiuc = grid.add_cluster(Cluster(
+        sim, grid.topology, "uiuc", arch=ARCH_PII_450, n_hosts=8,
+        cores_per_host=1, link_bandwidth=MYRINET, link_latency=5e-5,
+        site="UIUC"))
+    grid.topology.add_link(utk.switch, uiuc.switch,
+                           bandwidth=internet_bw, latency=internet_lat)
+    return grid
+
+
+def fig4_testbed(sim: Simulator) -> Grid:
+    """The N-body process-swapping virtual grid of §4.2."""
+    grid = Grid(sim)
+    utk = grid.add_cluster(Cluster(
+        sim, grid.topology, "utk", arch=ARCH_PII_550, n_hosts=3,
+        cores_per_host=1, link_bandwidth=GB1, link_latency=1e-4,
+        site="UTK"))
+    uiuc = grid.add_cluster(Cluster(
+        sim, grid.topology, "uiuc", arch=ARCH_PII_450, n_hosts=3,
+        cores_per_host=1, link_bandwidth=GB1, link_latency=1e-4,
+        site="UIUC"))
+    # 11 ms between UTK and UIUC, 30 ms from UCSD to both sites.
+    grid.topology.add_link(utk.switch, uiuc.switch,
+                           bandwidth=INTERNET_BW, latency=0.011)
+    ucsd = Host(sim, "ucsd.n0", ARCH_ATHLON_1700, cores=1)
+    grid.add_standalone_host(ucsd, uplink_bw=MB100, uplink_lat=1e-4)
+    grid.topology.add_link("ucsd.n0.uplink", utk.switch,
+                           bandwidth=INTERNET_BW, latency=0.030)
+    grid.topology.add_link("ucsd.n0.uplink", uiuc.switch,
+                           bandwidth=INTERNET_BW, latency=0.030)
+    return grid
+
+
+def grads_macrogrid(sim: Simulator) -> Grid:
+    """The full GrADS MacroGrid of §1 (UCSD + UTK + UIUC + UH)."""
+    grid = Grid(sim)
+    specs = [
+        ("ucsd", ARCH_ATHLON_1700, 10, 1, MB100),
+        ("utk-a", ARCH_PIII_933, 12, 2, MB100),
+        ("utk-b", ARCH_PII_550, 12, 1, GB1),
+        ("uiuc-a", ARCH_PII_450, 12, 1, MYRINET),
+        ("uiuc-b", ARCH_PII_450, 12, 1, GB1),
+        ("uh", ARCH_PIII_933, 24, 1, MB100),
+    ]
+    clusters = []
+    for name, arch, n, cores, nic in specs:
+        clusters.append(grid.add_cluster(Cluster(
+            sim, grid.topology, name, arch=arch, n_hosts=n,
+            cores_per_host=cores, link_bandwidth=nic, link_latency=1e-4,
+            site=name.split("-")[0].upper())))
+    # Star over an Internet core; inter-site paths share the core links.
+    grid.topology.add_node("internet")
+    lat = {"ucsd": 0.030, "utk-a": 0.011, "utk-b": 0.011,
+           "uiuc-a": 0.012, "uiuc-b": 0.012, "uh": 0.020}
+    for cluster in clusters:
+        grid.topology.add_link(cluster.switch, "internet",
+                               bandwidth=INTERNET_BW,
+                               latency=lat[cluster.name] / 2)
+    return grid
+
+
+def heterogeneous_testbed(sim: Simulator) -> Grid:
+    """Mixed IA-32 / IA-64 grid for the EMAN §3.3 experiment.
+
+    The SC2003 demonstration used both IA-32 and IA-64 machines; the
+    binder's recompile-at-target design is what makes this legal.
+    """
+    grid = Grid(sim)
+    grid.add_cluster(Cluster(
+        sim, grid.topology, "ia32", arch=ARCH_PIII_933, n_hosts=8,
+        cores_per_host=2, link_bandwidth=MB100, link_latency=1e-4,
+        site="RICE"))
+    grid.add_cluster(Cluster(
+        sim, grid.topology, "ia64", arch=ARCH_IA64_900, n_hosts=4,
+        cores_per_host=1, link_bandwidth=GB1, link_latency=1e-4,
+        site="RICE64"))
+    grid.topology.add_link(grid.clusters["ia32"].switch,
+                           grid.clusters["ia64"].switch,
+                           bandwidth=GB1, latency=5e-4)
+    return grid

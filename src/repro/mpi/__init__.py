@@ -1,0 +1,26 @@
+"""Simulated MPI runtime with profiling and process swapping."""
+
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    Message,
+    MpiContext,
+    MpiError,
+    MpiJob,
+)
+from .profiling import RankCounters
+from .swap import SwapRecord, SwappableJob
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Message",
+    "MpiContext",
+    "MpiError",
+    "MpiJob",
+    "RankCounters",
+    "SwapRecord",
+    "SwappableJob",
+]

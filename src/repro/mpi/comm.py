@@ -1,0 +1,381 @@
+"""Simulated MPI: jobs, ranks, point-to-point messaging.
+
+GrADS applications are MPI programs; their communication costs shape
+every scheduling and rescheduling decision in the paper.  This module
+runs MPI-style rank bodies as simulation processes.  Messages travel
+through the real topology (so they contend for links like everything
+else), and each rank keeps PAPI-style counters that the Autopilot
+sensors read (§5: "captured via PAPI and the MPI profiling interface
+with automatically-inserted sensors").
+
+A rank body is a generator function ``body(ctx)`` receiving an
+:class:`MpiContext`; it yields events, e.g.::
+
+    def body(ctx):
+        yield ctx.compute(250.0)                  # 250 Mflop locally
+        yield ctx.send(dst=1, nbytes=8e6)         # point-to-point
+        msg = yield ctx.recv(src=1)
+        yield from ctx.comm.barrier(ctx.rank)     # collective
+
+Rank-to-host mapping is looked up *per call*, which is the hook the
+process-swapping reschedul er uses (:mod:`repro.mpi.swap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..microgrid.host import Host
+from ..microgrid.network import Topology
+from ..sim.events import AllOf, Event
+from ..sim.kernel import Simulator
+from .profiling import RankCounters
+
+__all__ = ["Message", "MpiError", "MpiJob", "Communicator", "MpiContext",
+           "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MpiError(RuntimeError):
+    """Raised for misuse of the simulated MPI layer."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+
+
+@dataclass
+class _PendingRecv:
+    src: int
+    tag: int
+    event: Event
+
+
+class MpiJob:
+    """One parallel program instance: a set of ranks mapped onto hosts."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 hosts: List[Host], name: str = "mpijob") -> None:
+        if not hosts:
+            raise MpiError("an MPI job needs at least one host")
+        self.sim = sim
+        self.topology = topology
+        self.name = name
+        self._rank_hosts: List[Host] = list(hosts)
+        self.world = Communicator(self)
+        self.counters: List[RankCounters] = [RankCounters()
+                                             for _ in hosts]
+        self._iteration_listeners: List[Callable[[int, int, float], None]] = []
+        self._procs: List = []
+        self.finished: Optional[Event] = None
+
+    @property
+    def size(self) -> int:
+        return len(self._rank_hosts)
+
+    def rank_host(self, rank: int) -> Host:
+        self._check_rank(rank)
+        return self._rank_hosts[rank]
+
+    def set_rank_host(self, rank: int, host: Host) -> None:
+        """Re-map a rank to a different host (used by process swapping)."""
+        self._check_rank(rank)
+        self._rank_hosts[rank] = host
+
+    def hosts(self) -> List[Host]:
+        return list(self._rank_hosts)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < len(self._rank_hosts):
+            raise MpiError(f"rank {rank} out of range for job of size "
+                           f"{len(self._rank_hosts)}")
+
+    # -- launch -------------------------------------------------------------
+    def launch(self, body: Callable[["MpiContext"], Any]) -> Event:
+        """Start ``body(ctx)`` on every rank; the returned event triggers
+        when all ranks have finished (like mpirun's exit)."""
+        if self.finished is not None:
+            raise MpiError("job already launched")
+        for rank in range(self.size):
+            ctx = MpiContext(self, rank)
+            proc = self.sim.process(body(ctx), name=f"{self.name}:r{rank}")
+            self._procs.append(proc)
+        self.finished = AllOf(self.sim, self._procs,
+                              name=f"{self.name}:finished")
+        return self.finished
+
+    # -- instrumentation -------------------------------------------------------
+    def on_iteration(self, listener: Callable[[int, int, float], None]) -> None:
+        """Register ``listener(rank, iteration, seconds)`` — the hook the
+        Autopilot sensors attach to."""
+        self._iteration_listeners.append(listener)
+
+    def report_iteration(self, rank: int, iteration: int,
+                         seconds: float) -> None:
+        self.counters[rank].iterations += 1
+        for listener in self._iteration_listeners:
+            listener(rank, iteration, seconds)
+
+
+class Communicator:
+    """Point-to-point mailboxes plus SPMD collectives for one job."""
+
+    def __init__(self, job: MpiJob) -> None:
+        self.job = job
+        self._mailboxes: Dict[int, List[Message]] = {}
+        self._waiting: Dict[int, List[_PendingRecv]] = {}
+        # per-rank collective sequence numbers; SPMD programs call
+        # collectives in the same order on every rank, which makes the
+        # derived tags match up.
+        self._coll_seq: List[int] = [0] * job.size
+
+    @property
+    def size(self) -> int:
+        return self.job.size
+
+    # -- point to point -------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: float, tag: int = 0,
+             payload: Any = None) -> Event:
+        """Send; the event triggers when the message is delivered."""
+        self.job._check_rank(src)
+        self.job._check_rank(dst)
+        if nbytes < 0:
+            raise MpiError("negative message size")
+        if tag < 0:
+            raise MpiError("tags must be non-negative (negatives are wildcards)")
+        sim = self.job.sim
+        src_host = self.job.rank_host(src)
+        dst_host = self.job.rank_host(dst)
+        message = Message(src=src, dst=dst, tag=tag, nbytes=nbytes,
+                          payload=payload)
+        self.job.counters[src].bytes_sent += nbytes
+        self.job.counters[src].messages_sent += 1
+        start = sim.now
+        transfer = self.job.topology.transfer(
+            src_host.name, dst_host.name, nbytes,
+            tag=f"{self.job.name}:{src}->{dst}")
+        done = sim.event(name=f"{self.job.name}:send:{src}->{dst}")
+
+        def deliver(_ev: Event) -> None:
+            self.job.counters[src].comm_seconds += sim.now - start
+            self._deposit(message)
+            done.succeed(message)
+
+        transfer.add_callback(deliver)
+        return done
+
+    def recv(self, rank: int, src: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Event:
+        """Receive; the event's value is the matching :class:`Message`."""
+        self.job._check_rank(rank)
+        sim = self.job.sim
+        queue = self._mailboxes.setdefault(rank, [])
+        for i, message in enumerate(queue):
+            if self._matches(message, src, tag):
+                queue.pop(i)
+                ev = sim.event(name=f"{self.job.name}:recv:{rank}")
+                self._account_recv(rank, message)
+                ev.succeed(message)
+                return ev
+        ev = sim.event(name=f"{self.job.name}:recv:{rank}")
+        pending = _PendingRecv(src=src, tag=tag, event=ev)
+        self._waiting.setdefault(rank, []).append(pending)
+        # account on delivery
+        ev.add_callback(lambda e: self._account_recv(rank, e.value))
+        return ev
+
+    def _account_recv(self, rank: int, message: Message) -> None:
+        self.job.counters[rank].bytes_received += message.nbytes
+        self.job.counters[rank].messages_received += 1
+
+    @staticmethod
+    def _matches(message: Message, src: int, tag: int) -> bool:
+        return ((src == ANY_SOURCE or message.src == src)
+                and (tag == ANY_TAG or message.tag == tag))
+
+    def _deposit(self, message: Message) -> None:
+        waiters = self._waiting.get(message.dst, [])
+        for i, pending in enumerate(waiters):
+            if self._matches(message, pending.src, pending.tag):
+                waiters.pop(i)
+                pending.event.succeed(message)
+                return
+        self._mailboxes.setdefault(message.dst, []).append(message)
+
+    # -- collectives (SPMD: every rank must call, in the same order) -----------
+    def _next_tag(self, rank: int, kind: int) -> int:
+        seq = self._coll_seq[rank]
+        self._coll_seq[rank] += 1
+        # fold the collective kind and sequence into a reserved tag space
+        return 1_000_000 + seq * 8 + kind
+
+    def barrier(self, rank: int):
+        """Generator collective: central-counter barrier via rank 0."""
+        tag = self._next_tag(rank, 0)
+        if rank == 0:
+            for _ in range(self.size - 1):
+                yield self.recv(0, tag=tag)
+            for other in range(1, self.size):
+                yield self.send(0, other, nbytes=1.0, tag=tag + 1)
+        else:
+            yield self.send(rank, 0, nbytes=1.0, tag=tag)
+            yield self.recv(rank, src=0, tag=tag + 1)
+
+    def bcast(self, rank: int, root: int, nbytes: float, payload: Any = None):
+        """Binomial-tree broadcast (the MPICH algorithm); returns the
+        payload on every rank."""
+        self.job._check_rank(root)
+        tag = self._next_tag(rank, 1)
+        size = self.size
+        rel = (rank - root) % size  # rank relative to the root
+        value = payload
+        # Receive from the parent (clear my lowest set bit), unless root.
+        mask = 1
+        while mask < size:
+            if rel & mask:
+                parent = (rel - mask + root) % size
+                msg = yield self.recv(rank, src=parent, tag=tag)
+                value = msg.payload
+                break
+            mask <<= 1
+        # Forward to children below my lowest set bit.
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < size:
+                child = (rel + mask + root) % size
+                yield self.send(rank, child, nbytes=nbytes, tag=tag,
+                                payload=value)
+            mask >>= 1
+        return value
+
+    def gather(self, rank: int, root: int, nbytes: float, payload: Any = None):
+        """Flat gather to the root; returns list of payloads at the root."""
+        self.job._check_rank(root)
+        tag = self._next_tag(rank, 2)
+        if rank == root:
+            values: List[Any] = [None] * self.size
+            values[root] = payload
+            for _ in range(self.size - 1):
+                msg = yield self.recv(root, tag=tag)
+                values[msg.src] = msg.payload
+            return values
+        yield self.send(rank, root, nbytes=nbytes, tag=tag, payload=payload)
+        return None
+
+    def allgather(self, rank: int, nbytes: float, payload: Any = None):
+        """Ring allgather: size-1 steps, each moving ``nbytes``."""
+        tag = self._next_tag(rank, 3)
+        size = self.size
+        values: List[Any] = [None] * size
+        values[rank] = payload
+        right = (rank + 1) % size
+        carried_index, carried_value = rank, payload
+        for _step in range(size - 1):
+            send_ev = self.send(rank, right, nbytes=nbytes, tag=tag,
+                                payload=(carried_index, carried_value))
+            msg = yield self.recv(rank, tag=tag)
+            yield send_ev
+            carried_index, carried_value = msg.payload
+            values[carried_index] = carried_value
+        return values
+
+    def scatter(self, rank: int, root: int, nbytes: float,
+                payloads: Any = None):
+        """Root deals one payload (``nbytes`` each) to every rank;
+        returns this rank's share.  ``payloads`` is the length-``size``
+        list at the root, ignored elsewhere."""
+        self.job._check_rank(root)
+        tag = self._next_tag(rank, 5)
+        if rank == root:
+            if payloads is None:
+                payloads = [None] * self.size
+            if len(payloads) != self.size:
+                raise MpiError(
+                    f"scatter needs {self.size} payloads, got {len(payloads)}")
+            for other in range(self.size):
+                if other != root:
+                    yield self.send(root, other, nbytes=nbytes, tag=tag,
+                                    payload=payloads[other])
+            return payloads[root]
+        msg = yield self.recv(rank, src=root, tag=tag)
+        return msg.payload
+
+    def reduce(self, rank: int, root: int, nbytes: float,
+               value: float = 0.0,
+               op: Callable[[float, float], float] = lambda a, b: a + b):
+        """Reduce to the root; returns the result there, None elsewhere."""
+        self.job._check_rank(root)
+        tag = self._next_tag(rank, 6)
+        if rank == root:
+            acc = value
+            for _ in range(self.size - 1):
+                msg = yield self.recv(root, tag=tag)
+                acc = op(acc, msg.payload)
+            return acc
+        yield self.send(rank, root, nbytes=nbytes, tag=tag, payload=value)
+        return None
+
+    def allreduce(self, rank: int, nbytes: float, value: float = 0.0,
+                  op: Callable[[float, float], float] = lambda a, b: a + b):
+        """Reduce-to-root then broadcast (the classic composition)."""
+        tag = self._next_tag(rank, 4)
+        if rank == 0:
+            acc = value
+            for _ in range(self.size - 1):
+                msg = yield self.recv(0, tag=tag)
+                acc = op(acc, msg.payload)
+            for other in range(1, self.size):
+                yield self.send(0, other, nbytes=nbytes, tag=tag + 1,
+                                payload=acc)
+            return acc
+        yield self.send(rank, 0, nbytes=nbytes, tag=tag, payload=value)
+        msg = yield self.recv(rank, src=0, tag=tag + 1)
+        return msg.payload
+
+
+class MpiContext:
+    """What a rank body sees: its rank, communicator, and local ops."""
+
+    def __init__(self, job: MpiJob, rank: int) -> None:
+        self.job = job
+        self.rank = rank
+        self.comm = job.world
+
+    @property
+    def sim(self) -> Simulator:
+        return self.job.sim
+
+    @property
+    def host(self) -> Host:
+        """The host this rank currently runs on (changes after a swap)."""
+        return self.job.rank_host(self.rank)
+
+    @property
+    def counters(self) -> RankCounters:
+        return self.job.counters[self.rank]
+
+    def compute(self, mflop: float, tag: str = "") -> Event:
+        """Run local work on whatever host the rank currently occupies."""
+        self.counters.mflop += mflop
+        return self.host.compute(mflop, tag=tag or f"r{self.rank}")
+
+    def send(self, dst: int, nbytes: float, tag: int = 0,
+             payload: Any = None) -> Event:
+        return self.comm.send(self.rank, dst, nbytes, tag=tag, payload=payload)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        return self.comm.recv(self.rank, src=src, tag=tag)
+
+    def report_iteration(self, iteration: int, seconds: float) -> None:
+        """Feed the instrumentation inserted by the binder."""
+        self.job.report_iteration(self.rank, iteration, seconds)

@@ -1,0 +1,45 @@
+"""PAPI-style per-rank performance counters.
+
+"Using simple computation and communication performance metrics,
+captured via PAPI and the MPI profiling interface with automatically-
+inserted sensors, allows the detection of performance variations" (§5).
+The binder inserts Autopilot sensors that read these counters; the
+contract monitor compares their deltas against model predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RankCounters"]
+
+
+@dataclass
+class RankCounters:
+    """Counters one simulated rank accumulates as it runs."""
+
+    mflop: float = 0.0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    comm_seconds: float = 0.0
+    iterations: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy suitable for delta computation by sensors."""
+        return {
+            "mflop": self.mflop,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "messages_sent": float(self.messages_sent),
+            "messages_received": float(self.messages_received),
+            "comm_seconds": self.comm_seconds,
+            "iterations": float(self.iterations),
+        }
+
+    def delta_since(self, previous: Dict[str, float]) -> Dict[str, float]:
+        """Counter increments since a prior :meth:`snapshot`."""
+        current = self.snapshot()
+        return {key: current[key] - previous.get(key, 0.0) for key in current}

@@ -1,0 +1,131 @@
+"""The Network Weather Service facade.
+
+Ties sensors to adaptive forecasters and answers the two questions the
+GrADS scheduler and rescheduler ask (§3.1, §4.1.1): "what CPU fraction
+will this host give me?" and "what bandwidth/latency will I see between
+these endpoints?".
+
+Deploying per-host-pair bandwidth sensors across a whole grid would be
+quadratic, so — like the real NWS with its cliques — the service probes
+between *sites* (one representative pair per cluster pair) and answers
+host-pair queries from the covering site-pair series.  Before any
+measurement exists the service falls back to a static estimate from the
+topology description, which corresponds to NWS answering from its
+configuration baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..microgrid.dml import Grid
+from ..microgrid.host import Host
+from ..microgrid.network import Topology
+from ..sim.kernel import Simulator
+from .forecasting import AdaptiveForecaster
+from .sensors import CpuSensor, NetworkSensor
+
+__all__ = ["NetworkWeatherService"]
+
+
+class NetworkWeatherService:
+    """CPU and network forecasts over a grid."""
+
+    def __init__(self, sim: Simulator, grid: Grid,
+                 cpu_period: float = 10.0, net_period: float = 30.0,
+                 deploy_network_sensors: bool = True) -> None:
+        self.sim = sim
+        self.grid = grid
+        self.topology: Topology = grid.topology
+        self._cpu_sensors: Dict[str, CpuSensor] = {}
+        self._cpu_forecasts: Dict[str, AdaptiveForecaster] = {}
+        self._net_sensors: Dict[Tuple[str, str], NetworkSensor] = {}
+        self._bw_forecasts: Dict[Tuple[str, str], AdaptiveForecaster] = {}
+        self._site_rep: Dict[str, str] = {}
+
+        for host in grid.all_hosts():
+            sensor = CpuSensor(sim, host, period=cpu_period)
+            forecast = AdaptiveForecaster()
+            sensor.on_reading(lambda m, f=forecast: f.update(m.value))
+            self._cpu_sensors[host.name] = sensor
+            self._cpu_forecasts[host.name] = forecast
+            site = self._site_of(host)
+            self._site_rep.setdefault(site, host.name)
+
+        if deploy_network_sensors:
+            self._deploy_site_sensors(net_period)
+
+    # -- deployment ------------------------------------------------------------
+    def _site_of(self, host: Host) -> str:
+        return host.cluster.site if host.cluster is not None else host.name
+
+    def _deploy_site_sensors(self, period: float) -> None:
+        sites = sorted(self._site_rep)
+        for i, a in enumerate(sites):
+            for b in sites[i + 1:]:
+                for src_site, dst_site in ((a, b), (b, a)):
+                    key = (src_site, dst_site)
+                    sensor = NetworkSensor(
+                        self.sim, self.topology,
+                        self._site_rep[src_site], self._site_rep[dst_site],
+                        period=period)
+                    forecast = AdaptiveForecaster()
+                    sensor.on_reading(
+                        lambda kind, m, f=forecast:
+                        f.update(m.value) if kind == "bandwidth" else None)
+                    self._net_sensors[key] = sensor
+                    self._bw_forecasts[key] = forecast
+
+    # -- forecasts ---------------------------------------------------------------
+    def cpu_forecast(self, host_name: str) -> float:
+        """Predicted CPU availability fraction for a host."""
+        forecast = self._cpu_forecasts.get(host_name)
+        if forecast is not None:
+            value = forecast.predict()
+            if value is not None:
+                return value
+        # No data yet: read the ground truth once, like an on-demand probe.
+        sensor = self._cpu_sensors.get(host_name)
+        if sensor is not None:
+            reading = sensor.measure_once()
+            return reading.value
+        return self.topology.host(host_name).availability()
+
+    def bandwidth_forecast(self, src: str, dst: str) -> float:
+        """Predicted achievable bandwidth (bytes/s) between two hosts."""
+        if src == dst:
+            return self.topology.local_copy_bw
+        key = self._site_key(src, dst)
+        forecast = self._bw_forecasts.get(key)
+        if forecast is not None:
+            value = forecast.predict()
+            if value is not None:
+                return value
+        return self.topology.path_bottleneck_bw(src, dst)
+
+    def latency_forecast(self, src: str, dst: str) -> float:
+        """Predicted one-way latency (s) between two hosts.
+
+        Latency on these paths is static, so the topology value is the
+        forecast (real NWS latency series are similarly flat).
+        """
+        return self.topology.path_latency(src, dst)
+
+    def transfer_forecast(self, src: str, dst: str, nbytes: float) -> float:
+        """Predicted seconds to move ``nbytes`` from src to dst."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        bw = self.bandwidth_forecast(src, dst)
+        return self.latency_forecast(src, dst) + nbytes / bw
+
+    # -- plumbing for tests/benchmarks ------------------------------------------
+    def _site_key(self, src: str, dst: str) -> Tuple[str, str]:
+        src_site = self._site_of(self.topology.host(src))
+        dst_site = self._site_of(self.topology.host(dst))
+        return (src_site, dst_site)
+
+    def cpu_sensor(self, host_name: str) -> CpuSensor:
+        return self._cpu_sensors[host_name]
+
+    def cpu_forecaster(self, host_name: str) -> AdaptiveForecaster:
+        return self._cpu_forecasts[host_name]

@@ -1,0 +1,30 @@
+"""Semi-automatic component performance modeling (paper §3.2)."""
+
+from .construction import (
+    InstrumentedRun,
+    construct_component_model,
+    suggest_training_sizes,
+)
+from .flops import FlopModel, fit_flop_model, power_law_fit
+from .model import (
+    AnalyticComponentModel,
+    ComponentModel,
+    FittedComponentModel,
+)
+from .mrd import MrdBinModel, MrdModel, ReuseHistogram, reuse_distances
+
+__all__ = [
+    "AnalyticComponentModel",
+    "ComponentModel",
+    "FittedComponentModel",
+    "FlopModel",
+    "InstrumentedRun",
+    "MrdBinModel",
+    "MrdModel",
+    "ReuseHistogram",
+    "construct_component_model",
+    "fit_flop_model",
+    "power_law_fit",
+    "reuse_distances",
+    "suggest_training_sizes",
+]

@@ -1,0 +1,104 @@
+"""Semi-automatic construction of component performance models (§3.2).
+
+The GrADS program preparation system "semi-automatically construct[s]
+performance models": run the component on several small inputs with
+hardware counters and binary instrumentation enabled, then fit.  This
+module is that pipeline's top: feed it one :class:`InstrumentedRun` per
+training execution and get back a ready-to-schedule
+:class:`~repro.perfmodel.model.FittedComponentModel`.
+
+The semi-automatic part — choosing *which* sizes to train on — stays
+with the human, as it did in GrADS; :func:`suggest_training_sizes`
+encodes the rule of thumb the Rice tooling used (geometric spacing,
+small enough to run fast, spread wide enough to separate polynomial
+orders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .flops import fit_flop_model, power_law_fit
+from .model import FittedComponentModel
+from .mrd import MrdModel, ReuseHistogram
+
+__all__ = ["InstrumentedRun", "construct_component_model",
+           "suggest_training_sizes"]
+
+
+@dataclass(frozen=True)
+class InstrumentedRun:
+    """Measurements from one training execution of a component.
+
+    ``flop_count`` comes from the hardware performance counters;
+    ``memory_trace`` is the block-address trace the binary
+    instrumentation collected (may be empty if memory behaviour is not
+    being modeled); the byte volumes are observed I/O sizes.
+    """
+
+    problem_size: float
+    flop_count: float
+    memory_trace: Sequence[int] = ()
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    resident_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.problem_size <= 0:
+            raise ValueError("problem size must be positive")
+        if self.flop_count < 0:
+            raise ValueError("flop count cannot be negative")
+
+
+def suggest_training_sizes(smallest: float, n_sizes: int = 5,
+                           ratio: float = 1.6) -> List[float]:
+    """Geometrically spaced training sizes starting at ``smallest``."""
+    if smallest <= 0 or n_sizes < 2 or ratio <= 1.0:
+        raise ValueError("need smallest > 0, n_sizes >= 2, ratio > 1")
+    return [smallest * ratio ** i for i in range(n_sizes)]
+
+
+def construct_component_model(runs: Sequence[InstrumentedRun],
+                              max_degree: int = 3,
+                              n_bins: int = 16) -> FittedComponentModel:
+    """Fit every sub-model from the instrumented runs.
+
+    Needs at least two runs at distinct sizes.  The MRD model is fitted
+    only when at least two runs carry memory traces; volume models fall
+    back to zero when the measurements are all zero.
+    """
+    if len(runs) < 2:
+        raise ValueError("need at least two instrumented runs")
+    sizes = [r.problem_size for r in runs]
+    if len(set(sizes)) < 2:
+        raise ValueError("runs must span at least two problem sizes")
+
+    flop_model = fit_flop_model(sizes, [r.flop_count for r in runs],
+                                max_degree=max_degree)
+
+    traced = [r for r in runs if len(r.memory_trace) > 0]
+    mrd_model: Optional[MrdModel] = None
+    if len(traced) >= 2 and len({r.problem_size for r in traced}) >= 2:
+        histograms = [ReuseHistogram.from_trace(r.problem_size,
+                                                r.memory_trace,
+                                                n_bins=n_bins)
+                      for r in traced]
+        mrd_model = MrdModel.fit(histograms)
+
+    return FittedComponentModel(
+        flop_model=flop_model,
+        mrd_model=mrd_model,
+        input_fn=_volume_fn(sizes, [r.input_bytes for r in runs]),
+        output_fn=_volume_fn(sizes, [r.output_bytes for r in runs]),
+        memory_fn=_volume_fn(sizes, [r.resident_bytes for r in runs]),
+    )
+
+
+def _volume_fn(sizes: Sequence[float],
+               volumes: Sequence[float]) -> Callable[[float], float]:
+    """Power-law volume model; identically zero if never observed."""
+    if all(v == 0 for v in volumes):
+        return lambda n: 0.0
+    a, p = power_law_fit(sizes, volumes)
+    return lambda n: a * n ** p

@@ -1,0 +1,144 @@
+"""Executable component performance models.
+
+A COP carries "an executable performance model that estimates the
+application's performance on a set of resources" (§1).  This module
+defines that interface and two implementations:
+
+* :class:`FittedComponentModel` — built the §3.2 way, from a fitted
+  flop-count model plus an MRD cache model; architecture independent,
+  converted to seconds with a host's Mflop/s rate and miss penalty.
+* :class:`AnalyticComponentModel` — closed-form cost functions for
+  components whose operation counts are known analytically (e.g. the
+  ScaLAPACK QR kernel); used as ground truth in tests and available to
+  applications.
+
+Both also expose the component's data volumes, which the workflow
+scheduler's ``dcost`` term needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..microgrid.host import Architecture
+from .flops import FlopModel
+from .mrd import MrdModel
+
+__all__ = [
+    "ComponentModel",
+    "FittedComponentModel",
+    "AnalyticComponentModel",
+]
+
+
+class ComponentModel:
+    """Interface every component performance model satisfies."""
+
+    def mflop(self, n: float) -> float:
+        """Total work in Mflop at problem size ``n``."""
+        raise NotImplementedError
+
+    def memory_seconds(self, n: float, arch: Architecture) -> float:
+        """Memory-hierarchy stall time on ``arch`` at size ``n``."""
+        raise NotImplementedError
+
+    def input_bytes(self, n: float) -> float:
+        """Bytes of input data the component consumes."""
+        raise NotImplementedError
+
+    def output_bytes(self, n: float) -> float:
+        """Bytes of output data the component produces."""
+        raise NotImplementedError
+
+    def memory_required_bytes(self, n: float) -> float:
+        """Resident set needed to run at size ``n`` (0 = negligible)."""
+        return 0.0
+
+    # -- derived estimates ---------------------------------------------------
+    def cpu_seconds(self, n: float, arch: Architecture,
+                    availability: float = 1.0) -> float:
+        """Wall seconds of computation on one node of ``arch``.
+
+        ``availability`` is the NWS CPU fraction forecast; the flop
+        stream slows proportionally while memory stalls do not contend
+        for the CPU.
+        """
+        if availability <= 0:
+            return math.inf
+        flop_time = self.mflop(n) / (arch.mflops * availability)
+        return flop_time + self.memory_seconds(n, arch)
+
+    def eligible(self, n: float, arch: Architecture) -> bool:
+        """Minimum-requirements check used for rank = infinity (§3.1)."""
+        return self.memory_required_bytes(n) <= arch.memory_bytes
+
+
+@dataclass
+class FittedComponentModel(ComponentModel):
+    """The §3.2 construction: fitted flop counts + MRD cache model."""
+
+    flop_model: FlopModel
+    mrd_model: Optional[MrdModel] = None
+    bytes_per_element: int = 8
+    #: data volume functions (bytes as a function of problem size)
+    input_fn: Callable[[float], float] = lambda n: 0.0
+    output_fn: Callable[[float], float] = lambda n: 0.0
+    memory_fn: Callable[[float], float] = lambda n: 0.0
+
+    def mflop(self, n: float) -> float:
+        return self.flop_model.mflop(n)
+
+    def memory_seconds(self, n: float, arch: Architecture) -> float:
+        if self.mrd_model is None or not arch.caches:
+            return 0.0
+        total = 0.0
+        for level in arch.caches:
+            misses = self.mrd_model.predict_miss_count(
+                n, cache_bytes=level.size, line_bytes=level.line)
+            total += misses * level.miss_penalty
+        return total
+
+    def input_bytes(self, n: float) -> float:
+        return self.input_fn(n)
+
+    def output_bytes(self, n: float) -> float:
+        return self.output_fn(n)
+
+    def memory_required_bytes(self, n: float) -> float:
+        return self.memory_fn(n)
+
+
+@dataclass
+class AnalyticComponentModel(ComponentModel):
+    """Closed-form component model.
+
+    ``mflop_fn`` maps problem size to Mflop; the remaining functions
+    default to zero so simple components stay simple to declare.
+    """
+
+    mflop_fn: Callable[[float], float]
+    input_fn: Callable[[float], float] = lambda n: 0.0
+    output_fn: Callable[[float], float] = lambda n: 0.0
+    memory_fn: Callable[[float], float] = lambda n: 0.0
+    memory_seconds_fn: Callable[[float, Architecture], float] = \
+        lambda n, arch: 0.0
+
+    def mflop(self, n: float) -> float:
+        value = self.mflop_fn(n)
+        if value < 0:
+            raise ValueError(f"model produced negative work at n={n}")
+        return value
+
+    def memory_seconds(self, n: float, arch: Architecture) -> float:
+        return self.memory_seconds_fn(n, arch)
+
+    def input_bytes(self, n: float) -> float:
+        return self.input_fn(n)
+
+    def output_bytes(self, n: float) -> float:
+        return self.output_fn(n)
+
+    def memory_required_bytes(self, n: float) -> float:
+        return self.memory_fn(n)

@@ -1,0 +1,207 @@
+"""Memory reuse distance (MRD) models (§3.2).
+
+The paper: "we collect histograms of memory reuse distance — the number
+of unique memory blocks accessed between a pair of references to the
+same block ... Using MRD data collected on several small-size input
+problems, we model the behavior of each memory instruction, and predict
+the fraction of hits and misses for a given problem size and cache
+configuration ... we evaluate the MRD models for each reference at the
+specified problem size, and count the number of accesses with predicted
+reuse distance greater than the target cache size."
+
+Three pieces reproduce that:
+
+* :func:`reuse_distances` — an exact stack-distance computation over a
+  block-address trace (Bennett/Kruskal algorithm with a Fenwick tree,
+  O(n log n)), standing in for the binary instrumentation.
+* :class:`ReuseHistogram` — the per-run histogram.
+* :class:`MrdModel` — per-bin power-law scaling models fitted across
+  several small problem sizes, evaluated at a target size and cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .flops import power_law_fit
+
+__all__ = ["reuse_distances", "ReuseHistogram", "MrdModel", "MrdBinModel"]
+
+
+class _Fenwick:
+    """Binary indexed tree over trace positions (prefix sums)."""
+
+    def __init__(self, n: int) -> None:
+        self._tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i < len(self._tree):
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of entries at positions < i."""
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+
+def reuse_distances(trace: Sequence[int]) -> List[int]:
+    """Exact LRU stack distances for each access of a block trace.
+
+    Returns one distance per access: the number of *unique* blocks
+    touched since the previous access to the same block, or ``-1`` for
+    cold (first-time) accesses.
+    """
+    last_seen: Dict[int, int] = {}
+    tree = _Fenwick(len(trace))
+    out: List[int] = []
+    for t, block in enumerate(trace):
+        prev = last_seen.get(block)
+        if prev is None:
+            out.append(-1)
+        else:
+            # Unique blocks since prev = count of "most recent access"
+            # markers strictly between prev and t.
+            out.append(tree.prefix(t) - tree.prefix(prev + 1))
+            tree.add(prev, -1)
+        tree.add(t, +1)
+        last_seen[block] = t
+    return out
+
+
+@dataclass(frozen=True)
+class ReuseHistogram:
+    """Reuse-distance histogram of one instrumented run.
+
+    ``percentile_distances[k]`` is the reuse distance at the k-th of
+    ``n_bins`` evenly spaced quantiles of the (finite) distance
+    distribution; ``total_accesses`` and ``cold_accesses`` complete the
+    picture.  Distances are in *blocks* (cache lines).
+    """
+
+    problem_size: float
+    percentile_distances: Tuple[float, ...]
+    total_accesses: int
+    cold_accesses: int
+
+    @classmethod
+    def from_trace(cls, problem_size: float, trace: Sequence[int],
+                   n_bins: int = 16) -> "ReuseHistogram":
+        """Instrument a run: compute exact distances, then summarize."""
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        distances = reuse_distances(trace)
+        finite = np.array([d for d in distances if d >= 0], dtype=float)
+        cold = len(distances) - len(finite)
+        if len(finite) == 0:
+            percentiles = tuple(0.0 for _ in range(n_bins))
+        else:
+            qs = (np.arange(n_bins) + 0.5) / n_bins
+            percentiles = tuple(float(v)
+                                for v in np.quantile(finite, qs))
+        return cls(problem_size=float(problem_size),
+                   percentile_distances=percentiles,
+                   total_accesses=len(distances),
+                   cold_accesses=cold)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.percentile_distances)
+
+    def miss_fraction(self, cache_blocks: float) -> float:
+        """Fraction of accesses that miss a fully associative LRU cache
+        of ``cache_blocks`` lines (cold misses included)."""
+        if self.total_accesses == 0:
+            return 0.0
+        reuse = self.total_accesses - self.cold_accesses
+        per_bin = reuse / self.n_bins if self.n_bins else 0
+        missed = sum(per_bin for d in self.percentile_distances
+                     if d >= cache_blocks)
+        return (missed + self.cold_accesses) / self.total_accesses
+
+
+@dataclass(frozen=True)
+class MrdBinModel:
+    """Power-law scaling of one histogram bin: distance(n) = a * n**p."""
+
+    a: float
+    p: float
+
+    def __call__(self, n: float) -> float:
+        return self.a * n ** self.p
+
+
+class MrdModel:
+    """Cross-size MRD model: predicts misses at unseen problem sizes.
+
+    Fitted from :class:`ReuseHistogram` instances collected at several
+    small sizes.  Each percentile bin's distance is modeled as a power
+    law of the problem size; the access count and cold-miss count get
+    power laws too.  Prediction at (size, cache) evaluates every bin and
+    counts the accesses whose predicted distance exceeds the cache.
+    """
+
+    def __init__(self, bins: Sequence[MrdBinModel],
+                 accesses: MrdBinModel, cold: MrdBinModel) -> None:
+        if not bins:
+            raise ValueError("need at least one bin model")
+        self.bins = list(bins)
+        self.accesses = accesses
+        self.cold = cold
+
+    @classmethod
+    def fit(cls, histograms: Sequence[ReuseHistogram]) -> "MrdModel":
+        if len(histograms) < 2:
+            raise ValueError("need histograms from at least two problem sizes")
+        n_bins = histograms[0].n_bins
+        if any(h.n_bins != n_bins for h in histograms):
+            raise ValueError("histograms must share a bin count")
+        sizes = [h.problem_size for h in histograms]
+        if len(set(sizes)) < 2:
+            raise ValueError("histograms must span at least two sizes")
+        bin_models = []
+        for k in range(n_bins):
+            a, p = power_law_fit(sizes,
+                                 [h.percentile_distances[k] for h in histograms])
+            bin_models.append(MrdBinModel(a=a, p=p))
+        acc_a, acc_p = power_law_fit(sizes,
+                                     [h.total_accesses for h in histograms])
+        cold_a, cold_p = power_law_fit(sizes,
+                                       [h.cold_accesses for h in histograms])
+        return cls(bins=bin_models,
+                   accesses=MrdBinModel(a=acc_a, p=acc_p),
+                   cold=MrdBinModel(a=cold_a, p=cold_p))
+
+    def predict_accesses(self, n: float) -> float:
+        return self.accesses(n)
+
+    def predict_miss_count(self, n: float, cache_bytes: float,
+                           line_bytes: int = 64) -> float:
+        """Predicted cache misses for problem size ``n`` on the given
+        cache configuration."""
+        if cache_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache and line sizes must be positive")
+        cache_blocks = cache_bytes / line_bytes
+        total = self.accesses(n)
+        cold = min(self.cold(n), total)
+        reuse = max(total - cold, 0.0)
+        per_bin = reuse / len(self.bins)
+        missed = sum(per_bin for bin_model in self.bins
+                     if bin_model(n) >= cache_blocks)
+        return missed + cold
+
+    def predict_miss_fraction(self, n: float, cache_bytes: float,
+                              line_bytes: int = 64) -> float:
+        total = self.accesses(n)
+        if total <= 0:
+            return 0.0
+        return min(self.predict_miss_count(n, cache_bytes, line_bytes) / total,
+                   1.0)

@@ -1,0 +1,51 @@
+"""Rescheduling: stop/migrate/restart and process swapping (paper §4)."""
+
+from .redistribution import (
+    block_owner,
+    moved_fraction,
+    partition_bytes,
+    redistribution_plan,
+    redistribution_volume,
+)
+from .rescheduler import (
+    DecisionRecord,
+    MigratableApp,
+    MigrationEvaluation,
+    Rescheduler,
+)
+from .rss import CheckpointLocation, CheckpointRecord, RuntimeSupportSystem
+from .srs import RegisteredData, SRSLibrary, restore_plan
+from .swapping import (
+    SWAP_POLICIES,
+    SwapDecision,
+    SwapRescheduler,
+    gang_policy,
+    greedy_policy,
+    single_policy,
+    threshold_policy,
+)
+
+__all__ = [
+    "CheckpointLocation",
+    "CheckpointRecord",
+    "DecisionRecord",
+    "MigratableApp",
+    "MigrationEvaluation",
+    "RegisteredData",
+    "Rescheduler",
+    "RuntimeSupportSystem",
+    "SRSLibrary",
+    "SWAP_POLICIES",
+    "SwapDecision",
+    "SwapRescheduler",
+    "block_owner",
+    "gang_policy",
+    "greedy_policy",
+    "moved_fraction",
+    "partition_bytes",
+    "redistribution_plan",
+    "redistribution_volume",
+    "restore_plan",
+    "single_policy",
+    "threshold_policy",
+]

@@ -1,0 +1,238 @@
+"""The GrADS rescheduler (§4, §4.1.1).
+
+"The rescheduling process must determine whether rescheduling is
+profitable, based on the sensor data, estimates of the remaining work
+in the application, and the cost of moving to new resources."
+
+Two operating triggers, exactly as in the paper:
+
+* **migration on request** — the contract monitor detects unacceptable
+  performance loss and calls :meth:`Rescheduler.handle_request`;
+* **opportunistic rescheduling** — a periodic daemon notices a GrADS
+  application that recently completed and asks whether any running
+  application would benefit from the freed resources.
+
+The cost model reproduces the paper's pessimism knob: by default the
+rescheduler assumes an experimentally determined *worst-case*
+rescheduling cost (900 s in the Figure 3 runs) rather than the
+application's own estimate, which is precisely what produces the wrong
+"don't migrate" decision at matrix size 8000.
+
+The rescheduler also supports the paper's *default* and *forced* modes:
+forced mode makes it take the opposite of (or a fixed) decision so
+experiments can measure both sides of every case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..contracts.monitor import MigrationRequest
+from ..gis.directory import GridInformationService
+from ..nws.service import NetworkWeatherService
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+
+__all__ = ["MigratableApp", "MigrationEvaluation", "Rescheduler",
+           "DecisionRecord"]
+
+
+class MigratableApp:
+    """What the rescheduler needs from an application under management."""
+
+    name: str = "app"
+
+    def current_hosts(self) -> List[str]:
+        """Hosts the application currently occupies."""
+        raise NotImplementedError
+
+    def propose_hosts(self, exclude: Sequence[str] = ()) -> List[str]:
+        """A candidate new resource set (via the COP's mapper)."""
+        raise NotImplementedError
+
+    def predicted_remaining_seconds(self, host_names: Sequence[str]) -> float:
+        """Model estimate of remaining execution time on those hosts,
+        at their *current* NWS-forecast availability."""
+        raise NotImplementedError
+
+    def migration_cost_estimate(self, new_hosts: Sequence[str]) -> float:
+        """The application's own estimate of stop+move+restart seconds."""
+        raise NotImplementedError
+
+    def migrate(self, new_hosts: Sequence[str]) -> Event:
+        """Initiate the actual migration; event triggers when the app
+        is running again on the new resources."""
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> Optional[Event]:
+        """Completion event, if the app has been launched."""
+        return None
+
+
+@dataclass(frozen=True)
+class MigrationEvaluation:
+    """The rescheduler's cost/benefit analysis for one decision."""
+
+    time: float
+    current_hosts: tuple
+    new_hosts: tuple
+    remaining_current: float
+    remaining_new: float
+    migration_cost: float
+    app_cost_estimate: float
+
+    @property
+    def benefit(self) -> float:
+        """Seconds saved by migrating (negative: migration loses)."""
+        return self.remaining_current - (self.remaining_new
+                                         + self.migration_cost)
+
+    @property
+    def profitable(self) -> bool:
+        return self.benefit > 0
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One rescheduling decision, for experiment traces."""
+
+    time: float
+    app: str
+    trigger: str  # "request" or "opportunistic"
+    evaluation: MigrationEvaluation
+    migrated: bool
+
+
+class Rescheduler:
+    """Cost/benefit migration decisions over managed applications."""
+
+    def __init__(self, sim: Simulator, gis: GridInformationService,
+                 nws: NetworkWeatherService,
+                 mode: str = "default",
+                 worst_case_migration_seconds: Optional[float] = 900.0,
+                 min_benefit_seconds: float = 0.0) -> None:
+        """``mode``: "default" (cost/benefit), "force-migrate",
+        "force-stay".  ``worst_case_migration_seconds`` replaces the
+        application's own migration estimate when not None — the
+        paper's pessimistic assumption."""
+        if mode not in ("default", "force-migrate", "force-stay"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.sim = sim
+        self.gis = gis
+        self.nws = nws
+        self.mode = mode
+        self.worst_case_migration_seconds = worst_case_migration_seconds
+        self.min_benefit_seconds = min_benefit_seconds
+        self.decisions: List[DecisionRecord] = []
+        self._apps: List[MigratableApp] = []
+        self._migrating: set = set()
+
+    # -- registry --------------------------------------------------------------
+    def manage(self, app: MigratableApp) -> None:
+        self._apps.append(app)
+
+    def managed_apps(self) -> List[MigratableApp]:
+        return list(self._apps)
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, app: MigratableApp,
+                 candidate_hosts: Optional[Sequence[str]] = None
+                 ) -> Optional[MigrationEvaluation]:
+        """Cost/benefit of moving ``app`` now; None if no candidate set
+        exists (mapper found nothing)."""
+        current = list(app.current_hosts())
+        try:
+            new_hosts = list(candidate_hosts) if candidate_hosts is not None \
+                else app.propose_hosts(exclude=current)
+        except Exception:
+            return None
+        if not new_hosts or set(new_hosts) == set(current):
+            return None
+        remaining_current = app.predicted_remaining_seconds(current)
+        remaining_new = app.predicted_remaining_seconds(new_hosts)
+        app_cost = app.migration_cost_estimate(new_hosts)
+        cost = (self.worst_case_migration_seconds
+                if self.worst_case_migration_seconds is not None
+                else app_cost)
+        return MigrationEvaluation(
+            time=self.sim.now,
+            current_hosts=tuple(current), new_hosts=tuple(new_hosts),
+            remaining_current=remaining_current,
+            remaining_new=remaining_new,
+            migration_cost=cost, app_cost_estimate=app_cost)
+
+    def _decide(self, evaluation: MigrationEvaluation) -> bool:
+        if self.mode == "force-migrate":
+            return True
+        if self.mode == "force-stay":
+            return False
+        return evaluation.benefit > self.min_benefit_seconds
+
+    # -- migration on request (contract monitor callback) ------------------------
+    def request_handler(self, app: MigratableApp
+                        ) -> Callable[[MigrationRequest], bool]:
+        """A callback suitable for :class:`ContractMonitor`."""
+        def handle(request: MigrationRequest) -> bool:
+            return self.handle_request(app, request)
+        return handle
+
+    def handle_request(self, app: MigratableApp,
+                       request: Optional[MigrationRequest] = None) -> bool:
+        """Contract-violation path; returns True if a migration started."""
+        if app.name in self._migrating:
+            return True  # already being moved; tell the monitor to stand by
+        evaluation = self.evaluate(app)
+        if evaluation is None:
+            return False
+        migrate = self._decide(evaluation)
+        self.decisions.append(DecisionRecord(
+            time=self.sim.now, app=app.name, trigger="request",
+            evaluation=evaluation, migrated=migrate))
+        if migrate:
+            self._start_migration(app, list(evaluation.new_hosts))
+        return migrate
+
+    # -- opportunistic rescheduling ------------------------------------------------
+    def start_opportunistic(self, period: float = 60.0) -> None:
+        """Launch the periodic daemon that migrates running apps onto
+        resources freed by recently completed ones."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim.process(self._opportunistic_loop(period),
+                         name="rescheduler:opportunistic")
+
+    def _opportunistic_loop(self, period: float):
+        seen_finished: set = set()
+        while True:
+            yield self.sim.timeout(period)
+            newly_finished = [
+                app for app in self._apps
+                if app.finished is not None and app.finished.triggered
+                and app.name not in seen_finished]
+            if not newly_finished:
+                continue
+            seen_finished.update(app.name for app in newly_finished)
+            for app in self._apps:
+                if app.finished is not None and app.finished.triggered:
+                    continue
+                if app.name in self._migrating:
+                    continue
+                evaluation = self.evaluate(app)
+                if evaluation is None:
+                    continue
+                migrate = self._decide(evaluation)
+                self.decisions.append(DecisionRecord(
+                    time=self.sim.now, app=app.name,
+                    trigger="opportunistic", evaluation=evaluation,
+                    migrated=migrate))
+                if migrate:
+                    self._start_migration(app, list(evaluation.new_hosts))
+
+    # -- execution ---------------------------------------------------------------
+    def _start_migration(self, app: MigratableApp,
+                         new_hosts: List[str]) -> None:
+        self._migrating.add(app.name)
+        event = app.migrate(new_hosts)
+        event.add_callback(lambda _e: self._migrating.discard(app.name))

@@ -1,0 +1,128 @@
+"""Schedule analysis: bounds, utilization, and Gantt rendering.
+
+Tools for judging how good a mapping is, independent of which policy
+produced it:
+
+* lower bounds on any schedule's makespan (critical path and aggregate
+  capacity), so heuristic results can be reported as "x% above bound";
+* per-resource utilization and load-balance statistics;
+* an ASCII Gantt chart of a schedule's estimated timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..gis.directory import ResourceRecord
+from .heuristics import Schedule
+from .workflow import Task, Workflow
+
+__all__ = ["makespan_lower_bound", "utilization", "load_balance",
+           "gantt", "ScheduleStats", "analyze"]
+
+
+def makespan_lower_bound(workflow: Workflow,
+                         resources: Sequence[ResourceRecord]) -> float:
+    """max(critical path on the fastest node, total work / total speed).
+
+    Both classic bounds ignore data movement, so they hold for every
+    schedule under our execution model.
+    """
+    if not resources:
+        raise ValueError("need at least one resource")
+    fastest = max(r.mflops for r in resources)
+    aggregate = sum(r.mflops for r in resources)
+    critical = workflow.critical_path_mflop() / fastest
+    volume = workflow.total_mflop() / aggregate
+    return max(critical, volume)
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Summary numbers for one schedule."""
+
+    makespan: float
+    lower_bound: float
+    n_resources_used: int
+    mean_utilization: float
+    max_utilization: float
+    imbalance: float  # max resource busy time / mean busy time
+
+    @property
+    def optimality_gap(self) -> float:
+        """makespan / lower bound (1.0 = provably optimal)."""
+        if self.lower_bound <= 0:
+            return math.inf
+        return self.makespan / self.lower_bound
+
+
+def utilization(schedule: Schedule) -> Dict[str, float]:
+    """Busy fraction of the makespan per resource that got work."""
+    span = schedule.makespan
+    out: Dict[str, float] = {}
+    if span <= 0:
+        return out
+    for placement in schedule.placements.values():
+        busy = placement.est_finish - placement.est_start
+        out[placement.resource] = out.get(placement.resource, 0.0) + busy
+    return {name: busy / span for name, busy in out.items()}
+
+
+def load_balance(schedule: Schedule) -> float:
+    """max busy time over mean busy time across used resources.
+
+    1.0 is perfect balance; large values flag a straggler resource.
+    """
+    busy: Dict[str, float] = {}
+    for placement in schedule.placements.values():
+        duration = placement.est_finish - placement.est_start
+        busy[placement.resource] = busy.get(placement.resource, 0.0) \
+            + duration
+    if not busy:
+        return 1.0
+    values = list(busy.values())
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+def analyze(workflow: Workflow, schedule: Schedule,
+            resources: Sequence[ResourceRecord]) -> ScheduleStats:
+    """All the summary statistics in one call."""
+    util = utilization(schedule)
+    return ScheduleStats(
+        makespan=schedule.makespan,
+        lower_bound=makespan_lower_bound(workflow, resources),
+        n_resources_used=len(util),
+        mean_utilization=(sum(util.values()) / len(util)) if util else 0.0,
+        max_utilization=max(util.values()) if util else 0.0,
+        imbalance=load_balance(schedule),
+    )
+
+
+def gantt(schedule: Schedule, width: int = 64) -> str:
+    """ASCII Gantt chart: one row per resource, time left to right."""
+    if not schedule.placements:
+        return "(empty schedule)"
+    span = schedule.makespan
+    if span <= 0:
+        return "(zero-length schedule)"
+    by_resource: Dict[str, List] = {}
+    for placement in schedule.placements.values():
+        by_resource.setdefault(placement.resource, []).append(placement)
+    label_w = max(len(name) for name in by_resource)
+    lines = [f"Gantt ({schedule.heuristic}, makespan {span:.1f} s, "
+             f"1 column = {span / width:.2f} s)"]
+    for name in sorted(by_resource):
+        row = ["."] * width
+        for placement in by_resource[name]:
+            start = int(placement.est_start / span * (width - 1))
+            finish = int(placement.est_finish / span * (width - 1))
+            glyph = placement.task.component.name[0]
+            for col in range(start, max(finish, start) + 1):
+                row[col] = glyph
+        lines.append(f"{name.ljust(label_w)} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,322 @@
+"""Scheduling heuristics over the performance matrix (§3.1).
+
+"This matrix is used by the scheduling heuristics to obtain a mapping
+of components onto resources.  Such a heuristic approach is necessary
+since the mapping problem is NP-complete.  We apply three heuristics to
+obtain three mappings and then select the schedule with the minimum
+makespan.  The heuristics that we apply are the min-min, the max-min,
+and the sufferage heuristics."
+
+All heuristics share one machinery: maintain per-resource availability
+and per-task data-readiness, evaluate estimated completion times, and
+differ only in which ready task they commit next.  Baselines (random,
+FIFO round-robin a la DAGMan without performance models, and HEFT as a
+modern reference point) ride on the same machinery so comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nws.service import NetworkWeatherService
+from .ranking import RankMatrix
+from .workflow import Task, Workflow
+
+__all__ = [
+    "Placement",
+    "Schedule",
+    "ScheduleError",
+    "min_min",
+    "max_min",
+    "sufferage",
+    "random_schedule",
+    "fifo_schedule",
+    "heft_schedule",
+    "HEURISTICS",
+]
+
+
+class ScheduleError(RuntimeError):
+    """Raised when no feasible schedule exists."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One task's assignment with its estimated timeline."""
+
+    task: Task
+    resource: str
+    est_start: float
+    est_finish: float
+
+
+@dataclass
+class Schedule:
+    """A complete mapping of workflow tasks onto resources."""
+
+    heuristic: str
+    placements: Dict[str, Placement] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Estimated overall job completion time — the §3.1 objective."""
+        if not self.placements:
+            return 0.0
+        return max(p.est_finish for p in self.placements.values())
+
+    def resource_of(self, task_name: str) -> str:
+        return self.placements[task_name].resource
+
+    def tasks_on(self, resource: str) -> List[Placement]:
+        return sorted((p for p in self.placements.values()
+                       if p.resource == resource),
+                      key=lambda p: p.est_start)
+
+    def component_resources(self, component_name: str) -> List[str]:
+        return [p.resource for name, p in sorted(self.placements.items())
+                if p.task.component.name == component_name]
+
+
+class _Builder:
+    """Shared state for list-scheduling heuristics."""
+
+    def __init__(self, workflow: Workflow, matrix: RankMatrix,
+                 nws: NetworkWeatherService) -> None:
+        self.workflow = workflow
+        self.matrix = matrix
+        self.nws = nws
+        self.task_index = {t.name: i for i, t in enumerate(matrix.tasks)}
+        self.resource_free = {r.name: 0.0 for r in matrix.resources}
+        self.finish: Dict[str, float] = {}
+        self.location: Dict[str, str] = {}
+        self.schedule = Schedule(heuristic="")
+        self._component_done: Dict[str, int] = {
+            c.name: 0 for c in workflow.components()}
+
+    # -- readiness ----------------------------------------------------------
+    def ready_tasks(self) -> List[Task]:
+        """Tasks whose predecessor components are fully scheduled."""
+        out = []
+        for task in self.matrix.tasks:
+            if task.name in self.schedule.placements:
+                continue
+            preds = self.workflow.predecessors(task.component.name)
+            if all(self._component_done[p.name] == p.n_tasks for p in preds):
+                out.append(task)
+        return out
+
+    def data_ready_time(self, task: Task, resource: str) -> float:
+        """When the task's inputs can be present on ``resource``."""
+        preds = self.workflow.predecessors(task.component.name)
+        if not preds:
+            return 0.0
+        ready = 0.0
+        volume = task.component.input_bytes_per_task
+        for pred in preds:
+            share = volume / pred.n_tasks if volume > 0 else 0.0
+            for i in range(pred.n_tasks):
+                pname = Task(pred, i).name
+                arrive = self.finish[pname]
+                src = self.location[pname]
+                if share > 0 and src != resource:
+                    arrive += self.nws.transfer_forecast(src, resource, share)
+                ready = max(ready, arrive)
+        return ready
+
+    def _entry_dcost(self, task: Task, resource_index: int) -> float:
+        """Static input-staging cost for components with no predecessors.
+
+        Downstream components get their data-movement cost dynamically
+        from predecessor placements (data_ready_time); entry components
+        pull from the fixed data sources the rank matrix recorded, so
+        their dcost column applies here and only here (no double count).
+        """
+        if self.workflow.predecessors(task.component.name):
+            return 0.0
+        i = self.task_index[task.name]
+        return float(self.matrix.dcosts[i, resource_index])
+
+    def completion_time(self, task: Task, resource_index: int
+                        ) -> float:
+        """Estimated finish if ``task`` went on that resource next."""
+        i = self.task_index[task.name]
+        exec_seconds = self.matrix.ecosts[i, resource_index]
+        if not math.isfinite(exec_seconds):
+            return math.inf
+        record = self.matrix.resources[resource_index]
+        start = max(self.resource_free[record.name],
+                    self.data_ready_time(task, record.name))
+        return start + exec_seconds + self._entry_dcost(task, resource_index)
+
+    def best_resource(self, task: Task) -> Tuple[int, float, float]:
+        """(best index, best completion, second-best completion)."""
+        best_j, best_ct, second_ct = -1, math.inf, math.inf
+        for j in range(len(self.matrix.resources)):
+            ct = self.completion_time(task, j)
+            if ct < best_ct:
+                best_j, best_ct, second_ct = j, ct, best_ct
+            elif ct < second_ct:
+                second_ct = ct
+        return best_j, best_ct, second_ct
+
+    def commit(self, task: Task, resource_index: int) -> None:
+        record = self.matrix.resources[resource_index]
+        i = self.task_index[task.name]
+        exec_seconds = self.matrix.ecosts[i, resource_index]
+        start = max(self.resource_free[record.name],
+                    self.data_ready_time(task, record.name))
+        finish = start + exec_seconds + self._entry_dcost(task,
+                                                          resource_index)
+        self.schedule.placements[task.name] = Placement(
+            task=task, resource=record.name,
+            est_start=start, est_finish=finish)
+        self.resource_free[record.name] = finish
+        self.finish[task.name] = finish
+        self.location[task.name] = record.name
+        self._component_done[task.component.name] += 1
+
+    def run(self, select: Callable[[List[Tuple[Task, int, float, float]]],
+                                   Tuple[Task, int]],
+            name: str) -> Schedule:
+        """Drive list scheduling with a selection rule.
+
+        ``select`` receives ``[(task, best_j, best_ct, second_ct), ...]``
+        for the current ready set and returns the chosen (task, j).
+        """
+        self.schedule.heuristic = name
+        total = len(self.matrix.tasks)
+        while len(self.schedule.placements) < total:
+            ready = self.ready_tasks()
+            if not ready:
+                raise ScheduleError("no ready tasks but schedule incomplete "
+                                    "(cycle or ineligible task)")
+            candidates = []
+            for task in ready:
+                j, ct, second = self.best_resource(task)
+                if j < 0 or math.isinf(ct):
+                    raise ScheduleError(
+                        f"task {task.name} has no eligible resource")
+                candidates.append((task, j, ct, second))
+            task, j = select(candidates)
+            self.commit(task, j)
+        return self.schedule
+
+
+def min_min(workflow: Workflow, matrix: RankMatrix,
+            nws: NetworkWeatherService) -> Schedule:
+    """Commit the ready task with the *smallest* best completion time."""
+    def select(candidates):
+        task, j, _ct, _s = min(candidates, key=lambda c: (c[2], c[0].name))
+        return task, j
+    return _Builder(workflow, matrix, nws).run(select, "min-min")
+
+
+def max_min(workflow: Workflow, matrix: RankMatrix,
+            nws: NetworkWeatherService) -> Schedule:
+    """Commit the ready task with the *largest* best completion time —
+    big tasks first, so they don't straggle at the end."""
+    def select(candidates):
+        task, j, _ct, _s = max(candidates, key=lambda c: (c[2], c[0].name))
+        return task, j
+    return _Builder(workflow, matrix, nws).run(select, "max-min")
+
+
+def sufferage(workflow: Workflow, matrix: RankMatrix,
+              nws: NetworkWeatherService) -> Schedule:
+    """Commit the task that would suffer most if denied its best
+    resource: largest (second-best - best) completion gap."""
+    def select(candidates):
+        def key(c):
+            _task, _j, ct, second = c
+            gap = (second - ct) if math.isfinite(second) else math.inf
+            return (gap, c[0].name)
+        task, j, _ct, _s = max(candidates, key=key)
+        return task, j
+    return _Builder(workflow, matrix, nws).run(select, "sufferage")
+
+
+def random_schedule(workflow: Workflow, matrix: RankMatrix,
+                    nws: NetworkWeatherService,
+                    rng: np.random.Generator) -> Schedule:
+    """Baseline: each ready task goes to a uniformly random eligible
+    resource (what scheduling without models degenerates to)."""
+    builder = _Builder(workflow, matrix, nws)
+    builder.schedule.heuristic = "random"
+    total = len(matrix.tasks)
+    while len(builder.schedule.placements) < total:
+        ready = builder.ready_tasks()
+        if not ready:
+            raise ScheduleError("no ready tasks but schedule incomplete")
+        task = ready[int(rng.integers(len(ready)))]
+        i = builder.task_index[task.name]
+        eligible = matrix.eligible_resources(i)
+        if not eligible:
+            raise ScheduleError(f"task {task.name} has no eligible resource")
+        builder.commit(task, int(rng.choice(eligible)))
+    return builder.schedule
+
+
+def fifo_schedule(workflow: Workflow, matrix: RankMatrix,
+                  nws: NetworkWeatherService) -> Schedule:
+    """Baseline: DAGMan-style matchmaking without performance models —
+    ready tasks in declaration order onto the earliest-free eligible
+    resource (resource speed is invisible to the policy)."""
+    builder = _Builder(workflow, matrix, nws)
+    builder.schedule.heuristic = "fifo"
+    total = len(matrix.tasks)
+    while len(builder.schedule.placements) < total:
+        ready = builder.ready_tasks()
+        if not ready:
+            raise ScheduleError("no ready tasks but schedule incomplete")
+        task = ready[0]
+        i = builder.task_index[task.name]
+        eligible = matrix.eligible_resources(i)
+        if not eligible:
+            raise ScheduleError(f"task {task.name} has no eligible resource")
+        j = min(eligible,
+                key=lambda jj: (builder.resource_free[
+                    matrix.resources[jj].name], jj))
+        builder.commit(task, j)
+    return builder.schedule
+
+
+def heft_schedule(workflow: Workflow, matrix: RankMatrix,
+                  nws: NetworkWeatherService) -> Schedule:
+    """HEFT (extension): order tasks by upward rank computed with mean
+    execution costs, then assign each to its earliest-finish resource."""
+    mean_cost = {}
+    for i, task in enumerate(matrix.tasks):
+        finite = matrix.ecosts[i][np.isfinite(matrix.ecosts[i])]
+        if len(finite) == 0:
+            raise ScheduleError(f"task {task.name} has no eligible resource")
+        mean_cost[task.name] = float(np.mean(finite))
+    upward: Dict[str, float] = {}
+    for component in reversed(workflow.components()):
+        succ = workflow.successors(component.name)
+        succ_rank = max((upward[s.name] for s in succ), default=0.0)
+        upward[component.name] = mean_cost[Task(component, 0).name] + succ_rank
+    builder = _Builder(workflow, matrix, nws)
+    builder.schedule.heuristic = "heft"
+
+    def select(candidates):
+        task, j, _ct, _s = max(
+            candidates,
+            key=lambda c: (upward[c[0].component.name], c[0].name))
+        return task, j
+
+    return builder.run(select, "heft")
+
+
+#: name -> heuristic callable, for sweeps and benchmarks
+HEURISTICS = {
+    "min-min": min_min,
+    "max-min": max_min,
+    "sufferage": sufferage,
+    "fifo": fifo_schedule,
+    "heft": heft_schedule,
+}

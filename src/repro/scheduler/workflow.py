@@ -1,0 +1,142 @@
+"""Workflow application model (§3).
+
+"A workflow application consists of a collection of components that
+need to be executed in a partial order determined by control and data
+dependences."  Components may be *parallelizable* (the EMAN
+``classesbymra`` step fans out over particle classes); the scheduler
+treats a parallelizable component as a bag of independent tasks, which
+is exactly the setting the min-min/max-min/sufferage heuristics come
+from (Casanova et al., HCW 2000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..perfmodel.model import ComponentModel
+
+__all__ = ["WorkflowComponent", "Workflow", "Task", "WorkflowError"]
+
+
+class WorkflowError(ValueError):
+    """Raised for malformed workflow graphs."""
+
+
+@dataclass(frozen=True)
+class WorkflowComponent:
+    """One node of the application DAG."""
+
+    name: str
+    model: ComponentModel
+    problem_size: float
+    #: number of independent tasks this component splits into (1 = serial)
+    n_tasks: int = 1
+    #: bytes each task must receive from each predecessor component
+    input_bytes_per_task: float = 0.0
+    #: bytes each task hands to each successor component
+    output_bytes_per_task: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise WorkflowError(f"{self.name}: n_tasks must be >= 1")
+        if self.problem_size < 0:
+            raise WorkflowError(f"{self.name}: negative problem size")
+
+    def task_mflop(self) -> float:
+        """Work of one task: the component's work divided over its tasks."""
+        return self.model.mflop(self.problem_size) / self.n_tasks
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: (component, index within the component)."""
+
+    component: WorkflowComponent
+    index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.component.name}[{self.index}]"
+
+    def mflop(self) -> float:
+        return self.component.task_mflop()
+
+
+class Workflow:
+    """A DAG of :class:`WorkflowComponent` with data-dependence edges."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self.graph = nx.DiGraph()
+        self._components: Dict[str, WorkflowComponent] = {}
+
+    def add_component(self, component: WorkflowComponent) -> WorkflowComponent:
+        if component.name in self._components:
+            raise WorkflowError(f"duplicate component {component.name!r}")
+        self._components[component.name] = component
+        self.graph.add_node(component.name)
+        return component
+
+    def add_dependence(self, producer: str, consumer: str) -> None:
+        """Declare that ``consumer`` needs ``producer``'s output."""
+        for name in (producer, consumer):
+            if name not in self._components:
+                raise WorkflowError(f"unknown component {name!r}")
+        self.graph.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_edge(producer, consumer)
+            raise WorkflowError(
+                f"dependence {producer!r} -> {consumer!r} creates a cycle")
+
+    # -- queries -----------------------------------------------------------
+    def component(self, name: str) -> WorkflowComponent:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise WorkflowError(f"unknown component {name!r}") from None
+
+    def components(self) -> List[WorkflowComponent]:
+        """Components in a topological order (stable across runs)."""
+        order = list(nx.lexicographical_topological_sort(self.graph))
+        return [self._components[name] for name in order]
+
+    def predecessors(self, name: str) -> List[WorkflowComponent]:
+        return [self._components[p] for p in sorted(self.graph.predecessors(name))]
+
+    def successors(self, name: str) -> List[WorkflowComponent]:
+        return [self._components[s] for s in sorted(self.graph.successors(name))]
+
+    def tasks(self) -> List[Task]:
+        """All tasks of all components, in topological component order."""
+        out: List[Task] = []
+        for component in self.components():
+            out.extend(Task(component, i) for i in range(component.n_tasks))
+        return out
+
+    def levels(self) -> List[List[WorkflowComponent]]:
+        """Components grouped by topological generation."""
+        return [[self._components[n] for n in sorted(generation)]
+                for generation in nx.topological_generations(self.graph)]
+
+    def total_mflop(self) -> float:
+        return sum(c.model.mflop(c.problem_size)
+                   for c in self._components.values())
+
+    def critical_path_mflop(self) -> float:
+        """Work along the heaviest dependence chain (a lower bound on
+        any schedule's compute time for one task per step)."""
+        best: Dict[str, float] = {}
+        for component in self.components():
+            preds = [best[p.name] for p in self.predecessors(component.name)]
+            best[component.name] = (max(preds) if preds else 0.0) \
+                + component.task_mflop()
+        return max(best.values()) if best else 0.0
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate for the GrADS reproduction.
+
+The kernel is deliberately small (events, timeouts, processes,
+conditions) and deterministic; all grid behaviour is built on top of it
+in :mod:`repro.microgrid` and friends.
+"""
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    SimulationError,
+    Timeout,
+)
+from .kernel import Simulator, StopSimulation
+from .process import Interrupt, Process
+from .resources import Semaphore, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,210 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel is generator based, in the style of SimPy: simulation
+processes are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events trigger.  Events carry a value (delivered
+as the result of the ``yield``) or an exception (raised at the ``yield``
+site).
+
+Only the pieces the GrADS reproduction needs are implemented, but they
+are implemented completely: one-shot events, timeouts, condition events
+(:class:`AllOf` / :class:`AnyOf`) and process-as-event composition (in
+:mod:`repro.sim.process`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "EventAlreadyTriggered",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeed()/fail() is called on a triggered event."""
+
+
+PENDING = object()  #: sentinel for "no value yet"
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current
+    simulation time.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self.name = name
+        #: set True by a waiter that handled this event's failure
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is consumed)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception raised at waiters."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously), which keeps late waiters correct.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class ConditionEvent(Event):
+    """Base for events that trigger based on a set of child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            # add_callback fires synchronously for already-processed
+            # children, so _remaining must be set before this loop.
+            for ev in self.events:
+                ev.add_callback(self._on_child)
+
+    def _collect(self) -> dict:
+        # A Timeout carries its value from construction, so "triggered"
+        # alone would over-collect; only *processed* children count.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _on_child(self, child: Event) -> None:
+        raise NotImplementedError
+
+    def _child_failed(self, child: Event) -> None:
+        child.defused = True  # the failure propagates through the condition
+        if not self.triggered:
+            self.fail(child.value)
+
+
+class AllOf(ConditionEvent):
+    """Triggers when every child event has triggered.
+
+    The value is a dict mapping each child event to its value.  Fails
+    as soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self._child_failed(child)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(ConditionEvent):
+    """Triggers when at least one child event has triggered.
+
+    The value is a dict of the children that have triggered so far.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self._child_failed(child)
+            return
+        self.succeed(self._collect())

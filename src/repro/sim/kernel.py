@@ -1,0 +1,142 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the event agenda (a heap of ``(time, priority,
+sequence, event)`` entries) and the clock.  All grid components — hosts,
+network flows, daemons, MPI ranks, monitors — are simulation processes
+scheduled through one Simulator instance, so a whole GrADS run is fully
+deterministic given its RNG seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .events import Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Simulator", "StopSimulation"]
+
+#: Priority bands: URGENT is used for event-processing bookkeeping so that
+#: an event's callbacks run before same-time timeouts created afterwards.
+URGENT = 0
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._agenda: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds, by project convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new simulation process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling internals ----------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        """Place a triggered event on the agenda ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._agenda, (self._now + delay, priority, self._seq, event))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue an already-triggered event's callbacks to run now."""
+        self._schedule(event, 0.0, priority=URGENT)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        if not self._agenda:
+            raise SimulationError("step() on an empty agenda")
+        when, _prio, _seq, event = heapq.heappop(self._agenda)
+        if when < self._now - 1e-12:
+            raise SimulationError("agenda entry in the past (kernel bug)")
+        self._now = max(self._now, when)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if event.triggered and not event.ok and not event.defused:
+            # A failure that no waiter handled would otherwise vanish;
+            # surface it so broken processes abort the run loudly.
+            from .process import Process
+            if isinstance(event, Process):
+                raise event.value
+
+    def peek(self) -> float:
+        """Time of the next agenda entry, or ``inf`` if the agenda is empty."""
+        return self._agenda[0][0] if self._agenda else float("inf")
+
+    def run(self, until: Optional[float] = None,
+            stop_event: Optional[Event] = None) -> Any:
+        """Run until the agenda drains, ``until`` is reached, or
+        ``stop_event`` triggers.
+
+        Returns the value of ``stop_event`` if it stopped the run, else
+        ``None``.  Failed events that nothing waited on surface their
+        exception here rather than being silently dropped.
+        """
+        if stop_event is not None:
+            if stop_event.sim is not self:
+                raise SimulationError("stop_event belongs to another simulator")
+            stop_event.add_callback(self._stop_callback)
+        try:
+            while self._agenda:
+                if until is not None and self.peek() > until:
+                    self._now = until
+                    return None
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None and until > self._now:
+            self._now = until
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation()
+
+    # -- conveniences used across the code base -----------------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Invoke ``fn()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        ev = self.timeout(when - self._now)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Invoke ``fn()`` after ``delay`` simulated time units."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _e: fn())
+        return ev

@@ -1,0 +1,117 @@
+"""Generic coordination primitives for simulation processes.
+
+The grid substrate builds its own specialized machinery (processor
+sharing, max-min flows), but user-written applications and services
+often need ordinary queueing: a FIFO channel between producers and
+consumers, or a counted resource with waiters.  These primitives fill
+that gap, in the SimPy idiom: methods return events to ``yield`` on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Event, SimulationError
+from .kernel import Simulator
+
+__all__ = ["Store", "Semaphore"]
+
+
+class Store:
+    """An unbounded-or-capped FIFO channel of Python objects.
+
+    ``put`` blocks (returns a pending event) while the store is full;
+    ``get`` blocks while it is empty.  Items are delivered in FIFO
+    order to getters in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; the event triggers when it is accepted."""
+        ev = self.sim.event(name="store:put")
+        if self._getters:
+            # hand straight to the longest-waiting consumer
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Take the oldest item; the event's value is the item."""
+        ev = self.sim.event(name="store:get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            # space freed: admit the longest-waiting producer
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed()
+        elif self._putters and self.capacity == 0:  # pragma: no cover
+            raise SimulationError("unreachable: zero capacity is rejected")
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Semaphore:
+    """A counted resource: ``acquire`` blocks while the count is zero.
+
+    Use for modeling license servers, bounded service concurrency, or
+    any admission control a custom grid service needs.
+    """
+
+    def __init__(self, sim: Simulator, count: int) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.sim = sim
+        self.count = count
+        self._available = count
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """The event triggers when a unit is granted."""
+        ev = self.sim.event(name="semaphore:acquire")
+        if self._available > 0:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a unit; over-release is an error."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+            return
+        if self._available >= self.count:
+            raise SimulationError("semaphore released more than acquired")
+        self._available += 1

@@ -1,0 +1,100 @@
+"""Tests for QR crash recovery (the VGrADS fault-tolerance extension)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import ScheduledFailure, fig3_testbed
+from repro.appmanager import GradsEnvironment
+from repro.apps import QrBenchmark
+
+
+def build(n=3000, nb=200, checkpoint_every=3, stable_storage=True,
+          submission="utk.n3"):
+    sim = Simulator()
+    grid = fig3_testbed(sim)
+    env = GradsEnvironment(sim, grid, submission_host=submission)
+    run, monitor, rescheduler = env.managed_qr(
+        QrBenchmark(n=n, nb=nb),
+        initial_hosts=grid.clusters["utk"].host_names()[:3],
+        rescheduler_mode="force-stay",
+        checkpoint_every=checkpoint_every,
+        stable_storage=stable_storage)
+    return sim, grid, run
+
+
+class TestQrFaultTolerance:
+    def test_checkpoint_every_validated(self):
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        env = GradsEnvironment(sim, grid)
+        with pytest.raises(ValueError):
+            env.managed_qr(QrBenchmark(n=1000),
+                           initial_hosts=["utk.n0", "utk.n1"],
+                           checkpoint_every=0)
+
+    def test_completes_without_failures(self):
+        sim, grid, run = build()
+        finished = run.start()
+        sim.run(stop_event=finished)
+        assert run.failures_recovered == 0
+        assert run.progress == run.benchmark.steps
+
+    def test_recovers_from_mid_run_crash(self):
+        sim, grid, run = build()
+        # Crash one of the three compute nodes mid-run.
+        ScheduledFailure(host=grid.clusters["utk"][1], at=40.0).install(sim)
+        finished = run.start()
+        sim.run(stop_event=finished)
+        assert run.failures_recovered == 1
+        assert run.progress == run.benchmark.steps
+        assert "failure_recovery_1" in run.timings
+        # the dead node is not in the final host set
+        assert "utk.n1" not in run.current_hosts()
+
+    def test_resumes_from_periodic_checkpoint_not_scratch(self):
+        """With checkpoints every 3 steps, a crash late in the run must
+        not redo the early (most expensive) panel steps."""
+        sim, grid, run = build(n=4000, checkpoint_every=2)
+        ScheduledFailure(host=grid.clusters["utk"][2], at=100.0).install(sim)
+        finished = run.start()
+        sim.run(stop_event=finished)
+        crash_time = run.timings["failure_recovery_1"]
+        assert run.failures_recovered == 1
+        assert run.progress == run.benchmark.steps
+        # total wall time is far below crash + full-rerun-from-scratch
+        rerun_from_scratch = crash_time + run.predicted_remaining_seconds(
+            run.current_hosts()) * (run.benchmark.steps /
+                                    max(run.benchmark.steps - 2, 1))
+        assert sim.now < 100.0 + rerun_from_scratch * 1.5
+
+    def test_without_periodic_checkpoints_restarts_from_scratch(self):
+        """No checkpoint_every: the crash erases all progress and the
+        restart recomputes from step 0 (and still completes)."""
+        sim, grid, run = build(n=2500, checkpoint_every=None)
+        ScheduledFailure(host=grid.clusters["utk"][0], at=30.0).install(sim)
+        finished = run.start()
+        sim.run(stop_event=finished)
+        assert run.failures_recovered == 1
+        assert run.progress == run.benchmark.steps
+
+    def test_survives_two_crashes(self):
+        sim, grid, run = build(n=4000, checkpoint_every=2)
+        ScheduledFailure(host=grid.clusters["utk"][0], at=60.0).install(sim)
+        ScheduledFailure(host=grid.clusters["utk"][2], at=110.0).install(sim)
+        finished = run.start()
+        sim.run(stop_event=finished)
+        assert run.failures_recovered >= 1
+        assert run.progress == run.benchmark.steps
+
+    def test_local_checkpoints_die_with_their_host(self):
+        """The paper's local-disk IBP configuration is *not* fault
+        tolerant: if the crashed host held checkpoint partitions, the
+        restore cannot read them.  Stable storage is the fix — this
+        test pins down why it exists."""
+        from repro.ibp import DepotError
+        sim, grid, run = build(n=2500, checkpoint_every=2,
+                               stable_storage=False)
+        ScheduledFailure(host=grid.clusters["utk"][0], at=30.0).install(sim)
+        finished = run.start()
+        with pytest.raises((DepotError, KeyError)):
+            sim.run(stop_event=finished)

@@ -1,0 +1,126 @@
+"""Tests for the fuzzy inference engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts import (
+    FuzzyEngine,
+    FuzzyRule,
+    FuzzyVariable,
+    Trapezoid,
+    contract_violation_engine,
+)
+
+
+class TestTrapezoid:
+    def test_plateau_is_one(self):
+        mf = Trapezoid(0, 1, 2, 3)
+        assert mf(1.0) == 1.0
+        assert mf(1.5) == 1.0
+        assert mf(2.0) == 1.0
+
+    def test_edges_interpolate(self):
+        mf = Trapezoid(0, 1, 2, 3)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(2.5) == pytest.approx(0.5)
+
+    def test_outside_is_zero(self):
+        mf = Trapezoid(0, 1, 2, 3)
+        assert mf(-0.1) == 0.0
+        assert mf(3.1) == 0.0
+
+    def test_triangle_degenerate(self):
+        mf = Trapezoid(0, 1, 1, 2)
+        assert mf(1.0) == 1.0
+        assert mf(0.5) == pytest.approx(0.5)
+
+    def test_crisp_edge_degenerate(self):
+        mf = Trapezoid(1, 1, 2, 2)
+        assert mf(1.0) == 1.0
+        assert mf(2.0) == 1.0
+        assert mf(0.999) == 0.0
+
+    def test_unordered_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Trapezoid(3, 2, 1, 0)
+
+
+class TestEngine:
+    def make_engine(self):
+        load = FuzzyVariable("load", {
+            "low": Trapezoid(0, 0, 0.3, 0.5),
+            "high": Trapezoid(0.3, 0.5, 1.0, 1.0),
+        })
+        rules = [
+            FuzzyRule((("load", "low"),), 0.0),
+            FuzzyRule((("load", "high"),), 1.0),
+        ]
+        return FuzzyEngine([load], rules)
+
+    def test_extremes(self):
+        engine = self.make_engine()
+        assert engine.infer(load=0.1) == pytest.approx(0.0)
+        assert engine.infer(load=0.9) == pytest.approx(1.0)
+
+    def test_interpolation_in_overlap(self):
+        engine = self.make_engine()
+        mid = engine.infer(load=0.4)
+        assert 0.0 < mid < 1.0
+
+    def test_outside_all_sets_returns_zero(self):
+        load = FuzzyVariable("load", {"band": Trapezoid(2, 3, 4, 5)})
+        engine = FuzzyEngine([load], [FuzzyRule((("load", "band"),), 1.0)])
+        assert engine.infer(load=0.0) == 0.0
+
+    def test_missing_input_raises(self):
+        engine = self.make_engine()
+        with pytest.raises(KeyError):
+            engine.infer(wrong_name=1.0)
+
+    def test_unknown_set_raises(self):
+        load = FuzzyVariable("load", {"low": Trapezoid(0, 0, 1, 1)})
+        engine = FuzzyEngine([load], [FuzzyRule((("load", "ghost"),), 1.0)])
+        with pytest.raises(KeyError):
+            engine.infer(load=0.5)
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyEngine([], [])
+
+    def test_conjunction_uses_min(self):
+        a = FuzzyVariable("a", {"s": Trapezoid(0, 0, 1, 1)})
+        b = FuzzyVariable("b", {"s": Trapezoid(0, 0.5, 1, 1)})
+        engine = FuzzyEngine([a, b],
+                             [FuzzyRule((("a", "s"), ("b", "s")), 1.0)])
+        acts = engine.activations(a=0.5, b=0.25)
+        assert acts[0][1] == pytest.approx(0.5)
+
+
+class TestViolationEngine:
+    def test_nominal_ratio_no_violation(self):
+        engine = contract_violation_engine()
+        assert engine.infer(ratio=1.0) == pytest.approx(0.0)
+
+    def test_severe_slowdown_full_violation(self):
+        engine = contract_violation_engine()
+        assert engine.infer(ratio=5.0) == pytest.approx(1.0)
+
+    def test_moderate_slowdown_graded(self):
+        engine = contract_violation_engine()
+        v = engine.infer(ratio=2.0)
+        assert 0.3 < v < 0.9
+
+    def test_monotone_in_ratio(self):
+        engine = contract_violation_engine()
+        ratios = [0.5, 1.0, 1.4, 1.8, 2.5, 3.0, 4.0, 6.0]
+        severities = [engine.infer(ratio=r) for r in ratios]
+        assert all(b >= a - 1e-9 for a, b in zip(severities, severities[1:]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(ratio=st.floats(min_value=0.0, max_value=100.0))
+def test_property_violation_degree_bounded(ratio):
+    engine = contract_violation_engine()
+    v = engine.infer(ratio=ratio)
+    assert 0.0 <= v <= 1.0

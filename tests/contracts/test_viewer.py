@@ -1,0 +1,96 @@
+"""Tests for the text-mode Contract Viewer."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.contracts import (
+    ContractMonitor,
+    ContractViewer,
+    PerformanceContract,
+)
+
+
+def make_monitor(sim, rescheduler=None, window=3):
+    contract = PerformanceContract(predicted_fn=lambda p: 10.0)
+    return ContractMonitor(sim, contract, window=window,
+                           rescheduler=rescheduler)
+
+
+class TestContractViewer:
+    def test_empty_viewer_renders_placeholder(self):
+        sim = Simulator()
+        viewer = ContractViewer(make_monitor(sim))
+        assert "no contract activity" in viewer.render()
+
+    def test_records_each_phase(self):
+        sim = Simulator()
+        monitor = make_monitor(sim)
+        viewer = ContractViewer(monitor)
+        for phase in range(5):
+            monitor.report_phase(phase, 11.0)
+        assert viewer.n_samples == 5
+        text = viewer.render()
+        assert "5 phases" in text
+        assert text.count("phase ") == 5
+
+    def test_in_band_glyph(self):
+        sim = Simulator()
+        monitor = make_monitor(sim)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 10.0)  # ratio exactly 1.0
+        line = viewer.render().splitlines()[2]
+        assert "*" in line and "!" not in line
+
+    def test_violation_glyph_and_request_note(self):
+        sim = Simulator()
+        calls = []
+        monitor = make_monitor(sim, rescheduler=lambda r: calls.append(r)
+                               or True, window=1)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 40.0)  # ratio 4.0, instant confirm
+        text = viewer.render()
+        assert "!" in text
+        assert "migration requested" in text
+        assert "1 migration request(s)" in text
+
+    def test_below_band_glyph(self):
+        sim = Simulator()
+        monitor = make_monitor(sim, window=1)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 2.0)  # ratio 0.2 < lower 0.5
+        assert "v" in viewer.render()
+
+    def test_band_edges_rendered(self):
+        sim = Simulator()
+        monitor = make_monitor(sim)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 10.0)
+        line = viewer.render().splitlines()[2]
+        assert "[" in line and "]" in line
+        assert line.index("[") < line.index("]")
+
+    def test_suspended_phases_not_recorded(self):
+        sim = Simulator()
+        monitor = make_monitor(sim)
+        viewer = ContractViewer(monitor)
+        monitor.suspend()
+        monitor.report_phase(0, 50.0)
+        assert viewer.n_samples == 0
+
+    def test_tolerance_adjustments_counted(self):
+        sim = Simulator()
+        monitor = make_monitor(sim, rescheduler=lambda r: False, window=1)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 40.0)  # declined -> limits adjusted
+        assert "tolerance adjustment" in viewer.render()
+        assert monitor.limit_adjustments
+
+    def test_extreme_ratios_clamped_into_chart(self):
+        sim = Simulator()
+        monitor = make_monitor(sim, window=1, rescheduler=lambda r: True)
+        viewer = ContractViewer(monitor)
+        monitor.report_phase(0, 1000.0)
+        text = viewer.render(width=40)
+        for line in text.splitlines()[2:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40

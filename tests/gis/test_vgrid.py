@@ -1,0 +1,138 @@
+"""Tests for the vgrid (VGrADS) abstraction."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import (
+    fig3_testbed,
+    grads_macrogrid,
+    heterogeneous_testbed,
+)
+from repro.nws import NetworkWeatherService
+from repro.gis import (
+    GridInformationService,
+    Tightness,
+    VgridError,
+    VgridSpec,
+    find_and_bind,
+)
+from repro.scheduler import GradsWorkflowScheduler
+
+
+def env(grid_fn=grads_macrogrid):
+    sim = Simulator()
+    grid = grid_fn(sim)
+    gis = GridInformationService()
+    gis.register_grid(grid)
+    nws = NetworkWeatherService(sim, grid, deploy_network_sensors=False)
+    return sim, grid, gis, nws
+
+
+class TestVgridSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VgridSpec(n_nodes=0)
+        with pytest.raises(ValueError):
+            VgridSpec(n_nodes=1, min_mflops=-1.0)
+
+    def test_admits_filters(self):
+        sim, grid, gis, nws = env(heterogeneous_testbed)
+        spec = VgridSpec(n_nodes=2, isa="ia64")
+        records = gis.resources()
+        admitted = [r for r in records if spec.admits(r)]
+        assert admitted and all(r.isa == "ia64" for r in admitted)
+
+
+class TestFindAndBind:
+    def test_tight_binds_single_cluster(self):
+        sim, grid, gis, nws = env()
+        vgrid = find_and_bind(VgridSpec(n_nodes=10,
+                                        tightness=Tightness.TIGHT),
+                              gis, nws)
+        assert len(vgrid) == 10
+        assert len(vgrid.clusters()) == 1
+
+    def test_site_binds_single_site_multiple_clusters(self):
+        sim, grid, gis, nws = env()
+        vgrid = find_and_bind(VgridSpec(n_nodes=20,
+                                        tightness=Tightness.SITE),
+                              gis, nws)
+        assert len(vgrid) == 20
+        assert len(vgrid.sites()) == 1
+        # UTK/UIUC sites need both of their clusters for 20 nodes
+        assert len(vgrid.clusters()) >= 1
+
+    def test_loose_spans_grid(self):
+        sim, grid, gis, nws = env()
+        vgrid = find_and_bind(VgridSpec(n_nodes=60), gis, nws)
+        assert len(vgrid) == 60
+        assert len(vgrid.sites()) > 1
+
+    def test_prefers_fast_resources(self):
+        sim, grid, gis, nws = env()
+        vgrid = find_and_bind(VgridSpec(n_nodes=5), gis, nws)
+        speeds = [r.mflops for r in vgrid.resources]
+        all_speeds = sorted((r.mflops for r in gis.resources()),
+                            reverse=True)
+        assert sorted(speeds, reverse=True) == all_speeds[:5]
+
+    def test_isa_constraint(self):
+        sim, grid, gis, nws = env(heterogeneous_testbed)
+        vgrid = find_and_bind(VgridSpec(n_nodes=4, isa="ia64"), gis, nws)
+        assert all(r.isa == "ia64" for r in vgrid.resources)
+
+    def test_min_mflops_constraint(self):
+        sim, grid, gis, nws = env(fig3_testbed)
+        vgrid = find_and_bind(VgridSpec(n_nodes=4, min_mflops=300.0),
+                              gis, nws)
+        assert all(r.mflops >= 300.0 for r in vgrid.resources)
+        assert all(r.cluster == "utk" for r in vgrid.resources)
+
+    def test_unsatisfiable_raises(self):
+        sim, grid, gis, nws = env(fig3_testbed)
+        with pytest.raises(VgridError):
+            find_and_bind(VgridSpec(n_nodes=100), gis, nws)
+        with pytest.raises(VgridError):
+            find_and_bind(VgridSpec(n_nodes=2, isa="sparc"), gis, nws)
+        with pytest.raises(VgridError):
+            find_and_bind(VgridSpec(n_nodes=9,
+                                    tightness=Tightness.TIGHT),
+                          gis, nws)  # no cluster has 9 nodes
+
+    def test_exclusion(self):
+        sim, grid, gis, nws = env(fig3_testbed)
+        exclude = [f"utk.n{i}" for i in range(4)]
+        vgrid = find_and_bind(VgridSpec(n_nodes=4), gis, nws,
+                              exclude=exclude)
+        assert all(name.startswith("uiuc.") for name in vgrid.host_names())
+
+    def test_load_aware_binding(self):
+        """With NWS forecasts, a loaded fast cluster loses to an idle
+        slower one."""
+        sim, grid, gis, nws = env(fig3_testbed)
+        for host in grid.clusters["utk"]:
+            host.add_background_load(8)
+        vgrid = find_and_bind(VgridSpec(n_nodes=4,
+                                        tightness=Tightness.TIGHT),
+                              gis, nws)
+        assert all(name.startswith("uiuc.")
+                   for name in vgrid.host_names())
+
+    def test_vgrid_feeds_workflow_scheduler(self):
+        """The VGrADS flow: bind a vgrid, then schedule against only
+        its resources."""
+        from repro.apps import EmanParameters, eman_refinement_workflow
+        sim, grid, gis, nws = env(heterogeneous_testbed)
+        vgrid = find_and_bind(VgridSpec(n_nodes=8), gis, nws)
+        wf = eman_refinement_workflow(EmanParameters(n_particles=2000))
+        result = GradsWorkflowScheduler(gis, nws).schedule(
+            wf, resources=vgrid.resources)
+        used = {p.resource for p in result.best.placements.values()}
+        assert used <= set(vgrid.host_names())
+
+    def test_aggregate_accounting(self):
+        sim, grid, gis, nws = env(fig3_testbed)
+        vgrid = find_and_bind(VgridSpec(n_nodes=4,
+                                        tightness=Tightness.TIGHT),
+                              gis, nws)
+        assert vgrid.aggregate_mflops() == pytest.approx(4 * 373.2, rel=1e-3)

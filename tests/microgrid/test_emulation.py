@@ -1,0 +1,90 @@
+"""Tests for time-dilated MicroGrid emulation."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import (
+    VirtualClock,
+    dilated_grid,
+    fig3_testbed,
+    fig4_testbed,
+)
+
+
+class TestVirtualClock:
+    def test_roundtrip(self):
+        clock = VirtualClock(dilation=4.0)
+        assert clock.to_virtual(clock.to_emulation(10.0)) == pytest.approx(10.0)
+        assert clock.to_emulation(10.0) == pytest.approx(40.0)
+
+    def test_identity(self):
+        clock = VirtualClock(dilation=1.0)
+        assert clock.to_virtual(7.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualClock(dilation=0.0)
+
+
+class TestDilatedGrid:
+    def test_host_speeds_scaled(self):
+        sim = Simulator()
+        direct = fig3_testbed(Simulator())
+        emulated = dilated_grid(fig3_testbed, sim, dilation=4.0)
+        for d_host, e_host in zip(direct.all_hosts(), emulated.all_hosts()):
+            assert e_host.arch.mflops == pytest.approx(
+                d_host.arch.mflops / 4.0)
+            assert e_host.disk_read_bw == pytest.approx(
+                d_host.disk_read_bw / 4.0)
+
+    def test_links_scaled(self):
+        sim = Simulator()
+        direct = fig3_testbed(Simulator())
+        emulated = dilated_grid(fig3_testbed, sim, dilation=4.0)
+        d_bw = direct.topology.path_bottleneck_bw("utk.n0", "uiuc.n0")
+        e_bw = emulated.topology.path_bottleneck_bw("utk.n0", "uiuc.n0")
+        assert e_bw == pytest.approx(d_bw / 4.0)
+        d_lat = direct.topology.path_latency("utk.n0", "uiuc.n0")
+        e_lat = emulated.topology.path_latency("utk.n0", "uiuc.n0")
+        assert e_lat == pytest.approx(d_lat * 4.0)
+
+    def test_compute_rescales_exactly(self):
+        """Work on the dilated grid takes dilation x as long, so
+        rescaled results coincide with the direct run."""
+        dilation = 3.0
+        sim_d = Simulator()
+        direct = fig3_testbed(sim_d)
+        ev_d = direct.clusters["utk"][0].compute(1000.0)
+        sim_d.run()
+
+        sim_e = Simulator()
+        emulated = dilated_grid(fig3_testbed, sim_e, dilation)
+        ev_e = emulated.clusters["utk"][0].compute(1000.0)
+        sim_e.run()
+        clock = VirtualClock(dilation)
+        assert clock.to_virtual(ev_e.value) == pytest.approx(ev_d.value)
+
+    def test_transfer_rescales_exactly(self):
+        dilation = 5.0
+        sim_d = Simulator()
+        direct = fig4_testbed(sim_d)
+        ev_d = direct.topology.transfer("utk.n0", "uiuc.n0", 10e6)
+        sim_d.run()
+
+        sim_e = Simulator()
+        emulated = dilated_grid(fig4_testbed, sim_e, dilation)
+        ev_e = emulated.topology.transfer("utk.n0", "uiuc.n0", 10e6)
+        sim_e.run()
+        clock = VirtualClock(dilation)
+        assert clock.to_virtual(ev_e.value) == pytest.approx(ev_d.value,
+                                                             rel=1e-9)
+
+    def test_cluster_arch_updated_for_gis(self):
+        """GIS registration after dilation must see the scaled rates."""
+        from repro.gis import GridInformationService
+        sim = Simulator()
+        emulated = dilated_grid(fig3_testbed, sim, dilation=2.0)
+        gis = GridInformationService()
+        gis.register_grid(emulated)
+        assert gis.lookup("utk.n0").mflops == pytest.approx(373.2 / 2.0,
+                                                            rel=1e-3)

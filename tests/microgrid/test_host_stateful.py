@@ -1,0 +1,82 @@
+"""Stateful property test for the processor-sharing host.
+
+Drives a host through arbitrary interleavings of task submission and
+background-load changes, then checks the conservation laws that must
+hold for any interleaving: all submitted work completes, total Mflop
+delivered equals Mflop submitted, and no task ever finishes faster than
+running alone at full speed would allow.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sim import Simulator
+from repro.microgrid import Architecture, Host
+
+SPEED = 100.0
+
+
+class HostMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        self.host = Host(self.sim, "h", Architecture(name="a", mflops=SPEED),
+                         cores=2)
+        self.submitted = []  # (mflop, submit_time, event)
+        self.load_handles = []
+
+    @rule(mflop=st.floats(min_value=1.0, max_value=500.0),
+          advance=st.floats(min_value=0.0, max_value=5.0))
+    def submit_task(self, mflop, advance):
+        self.sim.run(until=self.sim.now + advance)
+        ev = self.host.compute(mflop)
+        self.submitted.append((mflop, self.sim.now, ev))
+
+    @rule(n=st.integers(min_value=1, max_value=3),
+          advance=st.floats(min_value=0.0, max_value=5.0))
+    def add_load(self, n, advance):
+        self.sim.run(until=self.sim.now + advance)
+        self.load_handles.extend(self.host.add_background_load(n))
+
+    @rule(advance=st.floats(min_value=0.0, max_value=5.0))
+    def remove_load(self, advance):
+        if not self.load_handles:
+            return
+        self.sim.run(until=self.sim.now + advance)
+        handle = self.load_handles.pop()
+        self.host.remove_background_load([handle])
+
+    @invariant()
+    def no_task_beats_solo_speed(self):
+        for mflop, t0, ev in self.submitted:
+            if ev.triggered and ev.ok:
+                assert ev.value >= mflop / SPEED - 1e-6
+
+    def teardown(self):
+        # Drain: remove all load so every task can finish, then check
+        # conservation.
+        if not hasattr(self, "sim"):
+            return
+        if self.load_handles:
+            self.host.remove_background_load(self.load_handles)
+            self.load_handles = []
+        self.sim.run(until=self.sim.now + 1e7)
+        total = 0.0
+        for mflop, t0, ev in self.submitted:
+            assert ev.triggered and ev.ok, "task never completed"
+            total += mflop
+        assert self.host.mflop_done == pytest.approx(total, rel=1e-6,
+                                                     abs=1e-6)
+
+
+TestHostStateful = HostMachine.TestCase
+TestHostStateful.settings = settings(max_examples=25,
+                                     stateful_step_count=20,
+                                     deadline=None)

@@ -1,0 +1,238 @@
+"""Tests for the routed topology and max-min fair flow model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.microgrid import Architecture, Host, NetworkError, Topology
+
+
+def two_hosts(sim, bw=1e6, lat=0.01):
+    """a -- switch -- b with identical access links."""
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=100.0)
+    a = Host(sim, "a", arch)
+    b = Host(sim, "b", arch)
+    topo.attach_host(a)
+    topo.attach_host(b)
+    topo.add_node("sw")
+    topo.add_link("a", "sw", bandwidth=bw, latency=lat / 2)
+    topo.add_link("b", "sw", bandwidth=bw, latency=lat / 2)
+    return topo, a, b
+
+
+def test_single_transfer_time():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.01)
+    ev = topo.transfer("a", "b", 1e6)
+    sim.run()
+    # latency + bytes/bw = 0.01 + 1.0
+    assert ev.value == pytest.approx(1.01, rel=1e-6)
+
+
+def test_zero_byte_transfer_takes_latency_only():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.02)
+    ev = topo.transfer("a", "b", 0)
+    sim.run()
+    assert ev.value == pytest.approx(0.02)
+
+
+def test_local_transfer_uses_memcpy_bandwidth():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim)
+    topo.local_copy_bw = 1e9
+    ev = topo.transfer("a", "a", 1e9)
+    sim.run()
+    assert ev.value == pytest.approx(1.0)
+
+
+def test_negative_transfer_rejected():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim)
+    with pytest.raises(ValueError):
+        topo.transfer("a", "b", -5)
+
+
+def test_unroutable_transfer_raises():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "x", arch))
+    topo.attach_host(Host(sim, "y", arch))
+    with pytest.raises(NetworkError):
+        topo.transfer("x", "y", 100)
+
+
+def test_unknown_host_lookup():
+    sim = Simulator()
+    topo = Topology(sim)
+    with pytest.raises(NetworkError):
+        topo.host("ghost")
+
+
+def test_duplicate_host_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "x", arch))
+    with pytest.raises(NetworkError):
+        topo.attach_host(Host(sim, "x", arch))
+
+
+def test_two_flows_share_bottleneck():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    e1 = topo.transfer("a", "b", 1e6)
+    e2 = topo.transfer("a", "b", 1e6)
+    sim.run()
+    # Both flows share the 1 MB/s path: each runs at 0.5 MB/s.
+    assert e1.value == pytest.approx(2.0, rel=1e-6)
+    assert e2.value == pytest.approx(2.0, rel=1e-6)
+
+
+def test_flow_speeds_up_when_other_finishes():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    small = topo.transfer("a", "b", 0.5e6)
+    large = topo.transfer("a", "b", 1.5e6)
+    sim.run()
+    # Shared until small drains at t=1.0 (0.5 MB at 0.5 MB/s); large then
+    # has 1.0 MB left at full rate -> finishes at t=2.0.
+    assert small.value == pytest.approx(1.0, rel=1e-6)
+    assert large.value == pytest.approx(2.0, rel=1e-6)
+
+
+def test_opposite_directions_full_duplex():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    e1 = topo.transfer("a", "b", 1e6)
+    e2 = topo.transfer("b", "a", 1e6)
+    sim.run()
+    # Full-duplex links: no interference between directions.
+    assert e1.value == pytest.approx(1.0, rel=1e-6)
+    assert e2.value == pytest.approx(1.0, rel=1e-6)
+
+
+def test_disjoint_paths_dont_interfere():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    for name in ("a", "b", "c", "d"):
+        topo.attach_host(Host(sim, name, arch))
+    topo.add_link("a", "b", bandwidth=1e6, latency=0.0)
+    topo.add_link("c", "d", bandwidth=2e6, latency=0.0)
+    e1 = topo.transfer("a", "b", 1e6)
+    e2 = topo.transfer("c", "d", 1e6)
+    sim.run()
+    assert e1.value == pytest.approx(1.0, rel=1e-6)
+    assert e2.value == pytest.approx(0.5, rel=1e-6)
+
+
+def test_max_min_fairness_unequal_bottlenecks():
+    """A flow constrained elsewhere releases bandwidth to its sharers.
+
+    Topology: a--r (10 MB/s), b--r (1 MB/s), r--c (10 MB/s).
+    Flow 1: a->c, flow 2: b->c.  Flow 2 is capped at 1 MB/s by its access
+    link, so max-min gives flow 1 the remaining 9 MB/s on r--c.
+    """
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    for name in ("a", "b", "c"):
+        topo.attach_host(Host(sim, name, arch))
+    topo.add_node("r")
+    topo.add_link("a", "r", bandwidth=10e6, latency=0.0)
+    topo.add_link("b", "r", bandwidth=1e6, latency=0.0)
+    topo.add_link("r", "c", bandwidth=10e6, latency=0.0)
+    e1 = topo.transfer("a", "c", 9e6)
+    e2 = topo.transfer("b", "c", 1e6)
+    sim.run()
+    assert e2.value == pytest.approx(1.0, rel=1e-6)  # 1 MB at 1 MB/s
+    assert e1.value == pytest.approx(1.0, rel=1e-6)  # 9 MB at 9 MB/s
+
+
+def test_latency_sums_along_path():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "a", arch))
+    topo.attach_host(Host(sim, "b", arch))
+    topo.add_node("r1")
+    topo.add_node("r2")
+    topo.add_link("a", "r1", bandwidth=1e6, latency=0.001)
+    topo.add_link("r1", "r2", bandwidth=1e6, latency=0.010)
+    topo.add_link("r2", "b", bandwidth=1e6, latency=0.002)
+    assert topo.path_latency("a", "b") == pytest.approx(0.013)
+    assert topo.path_bottleneck_bw("a", "b") == pytest.approx(1e6)
+
+
+def test_estimate_matches_uncontended_actual():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=2e6, lat=0.05)
+    est = topo.estimate_transfer_seconds("a", "b", 4e6)
+    ev = topo.transfer("a", "b", 4e6)
+    sim.run()
+    assert ev.value == pytest.approx(est, rel=1e-6)
+
+
+def test_bytes_delivered_accounting():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    topo.transfer("a", "b", 3e6)
+    topo.transfer("b", "a", 2e6)
+    sim.run()
+    assert topo.bytes_delivered == pytest.approx(5e6, rel=1e-6)
+
+
+def test_routing_cache_invalidated_by_new_link():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "a", arch))
+    topo.attach_host(Host(sim, "b", arch))
+    topo.add_node("slow")
+    topo.add_link("a", "slow", bandwidth=1e6, latency=0.5)
+    topo.add_link("slow", "b", bandwidth=1e6, latency=0.5)
+    assert topo.path_latency("a", "b") == pytest.approx(1.0)
+    topo.add_link("a", "b", bandwidth=1e6, latency=0.001)
+    assert topo.path_latency("a", "b") == pytest.approx(0.001)
+
+
+def test_link_validation():
+    sim = Simulator()
+    topo = Topology(sim)
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", bandwidth=0.0, latency=0.0)
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", bandwidth=1.0, latency=-0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.floats(min_value=1e3, max_value=1e7),
+                      min_size=1, max_size=6))
+def test_property_shared_link_conserves_bytes(sizes):
+    """All bytes submitted over a shared link are eventually delivered,
+    and the makespan is at least total/capacity (link is never
+    over-driven) and at most what strict serialization would take."""
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    events = [topo.transfer("a", "b", s) for s in sizes]
+    sim.run()
+    assert all(ev.triggered for ev in events)
+    assert topo.bytes_delivered == pytest.approx(sum(sizes), rel=1e-6)
+    assert sim.now >= sum(sizes) / 1e6 - 1e-6
+    assert sim.now <= sum(sizes) / 1e6 + 1e-6  # PS keeps the link saturated
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8))
+def test_property_equal_flows_finish_together(n):
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    events = [topo.transfer("a", "b", 1e6) for _ in range(n)]
+    sim.run()
+    finish = {round(ev.value, 6) for ev in events}
+    assert len(finish) == 1
+    assert events[0].value == pytest.approx(n * 1.0, rel=1e-6)

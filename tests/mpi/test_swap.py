@@ -1,0 +1,149 @@
+"""Tests for MPI process swapping."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import Architecture, Host, Topology
+from repro.mpi import MpiError, SwappableJob
+
+
+def make_pool(n=6, fast_mflops=100.0, slow_mflops=50.0, n_fast=3):
+    sim = Simulator()
+    topo = Topology(sim)
+    hosts = []
+    topo.add_node("sw")
+    for i in range(n):
+        arch = Architecture(
+            name=f"a{i}",
+            mflops=fast_mflops if i < n_fast else slow_mflops)
+        host = Host(sim, f"h{i}", arch)
+        topo.attach_host(host)
+        topo.add_link(host.name, "sw", bandwidth=1e8, latency=1e-4)
+        hosts.append(host)
+    return sim, topo, hosts
+
+
+def iterative_body(swap_job, n_iters, mflop_per_iter):
+    def body(ctx):
+        for it in range(n_iters):
+            start = ctx.sim.now
+            yield ctx.compute(mflop_per_iter)
+            yield from swap_job.sync_point(ctx)
+            ctx.report_iteration(it, ctx.sim.now - start)
+    return body
+
+
+class TestSwappableJob:
+    def test_active_inactive_partition(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3)
+        assert [h.name for h in job.active_hosts()] == ["h0", "h1", "h2"]
+        assert [h.name for h in job.inactive_hosts()] == ["h3", "h4", "h5"]
+
+    def test_active_n_validation(self):
+        sim, topo, hosts = make_pool()
+        with pytest.raises(MpiError):
+            SwappableJob(sim, topo, hosts, active_n=0)
+        with pytest.raises(MpiError):
+            SwappableJob(sim, topo, hosts, active_n=7)
+
+    def test_app_runs_on_active_set_only(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3)
+        job.launch(iterative_body(job, 2, 100.0))
+        sim.run()
+        assert all(h.mflop_done > 0 for h in hosts[:3])
+        assert all(h.mflop_done == 0 for h in hosts[3:])
+
+    def test_swap_moves_rank_to_new_host(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3,
+                           state_bytes_per_rank=1e6)
+        job.launch(iterative_body(job, 5, 100.0))
+        # Ask for the swap before the first sync point.
+        job.request_swap(1, hosts[4])
+        sim.run()
+        assert hosts[4].mflop_done > 0  # the new host did work
+        assert len(job.swap_log) == 1
+        record = job.swap_log[0]
+        assert record.old_host == "h1"
+        assert record.new_host == "h4"
+        assert record.logical_rank == 1
+        # old host returned to the inactive set
+        assert hosts[1] in job.inactive_hosts()
+        assert hosts[4] in job.active_hosts()
+
+    def test_swap_request_validation(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3)
+        with pytest.raises(MpiError):
+            job.request_swap(5, hosts[4])  # not an active logical rank
+        with pytest.raises(MpiError):
+            job.request_swap(0, hosts[1])  # target not inactive
+        job.request_swap(0, hosts[3])
+        with pytest.raises(MpiError):
+            job.request_swap(1, hosts[3])  # target already claimed
+
+    def test_swap_takes_effect_at_iteration_boundary(self):
+        """A swap requested mid-iteration must not preempt the running
+        compute call."""
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3)
+        job.launch(iterative_body(job, 3, 100.0))  # 1 s per iter on fast
+        sim.call_after(0.5, lambda: job.request_swap(0, hosts[3]))
+        sim.run()
+        record = job.swap_log[0]
+        assert record.time >= 1.0  # not before the first boundary
+
+    def test_swap_to_slow_host_slows_job(self):
+        sim, topo, hosts = make_pool()
+        baseline_job = SwappableJob(sim, topo, hosts, active_n=3)
+        baseline_job.launch(iterative_body(baseline_job, 5, 100.0))
+        sim.run()
+        baseline = sim.now
+
+        sim2, topo2, hosts2 = make_pool()
+        job2 = SwappableJob(sim2, topo2, hosts2, active_n=3)
+        job2.request_swap(0, hosts2[5])  # slow host
+        job2.launch(iterative_body(job2, 5, 100.0))
+        sim2.run()
+        assert sim2.now > baseline  # bulk-synchronous: slowest dominates
+
+    def test_swap_state_transfer_cost_counted(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3,
+                           state_bytes_per_rank=1e8)  # 1 s at 1e8 B/s
+        job.request_swap(0, hosts[3])
+        job.launch(iterative_body(job, 2, 100.0))
+        sim.run()
+        assert job.swap_log[0].seconds == pytest.approx(1.0, rel=0.1)
+
+    def test_multiple_swaps_in_one_sync(self):
+        sim, topo, hosts = make_pool()
+        job = SwappableJob(sim, topo, hosts, active_n=3)
+        job.request_swap(0, hosts[3])
+        job.request_swap(1, hosts[4])
+        job.request_swap(2, hosts[5])
+        job.launch(iterative_body(job, 3, 100.0))
+        sim.run()
+        assert len(job.swap_log) == 3
+        assert {h.name for h in job.active_hosts()} == {"h3", "h4", "h5"}
+
+    def test_swapping_all_to_faster_speeds_completion(self):
+        """Starting on slow hosts and swapping to fast ones must beat
+        staying on the slow hosts (the Figure 4 story)."""
+        # stay on slow hosts h3..h5
+        sim, topo, hosts = make_pool(n_fast=3)
+        stay = SwappableJob(sim, topo, list(reversed(hosts)), active_n=3)
+        stay.launch(iterative_body(stay, 20, 100.0))
+        sim.run()
+        stay_time = sim.now
+
+        sim2, topo2, hosts2 = make_pool(n_fast=3)
+        move = SwappableJob(sim2, topo2, list(reversed(hosts2)), active_n=3,
+                            state_bytes_per_rank=1e6)
+        for rank, target in enumerate(hosts2[:3]):
+            move.request_swap(rank, target)
+        move.launch(iterative_body(move, 20, 100.0))
+        sim2.run()
+        assert sim2.now < stay_time

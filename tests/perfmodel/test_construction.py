@@ -1,0 +1,120 @@
+"""Tests for semi-automatic component model construction."""
+
+import pytest
+
+from repro.apps import qr_matrix_bytes, qr_total_mflop
+from repro.microgrid import ARCH_PIII_933, Architecture, CacheLevel
+from repro.perfmodel import (
+    InstrumentedRun,
+    construct_component_model,
+    suggest_training_sizes,
+)
+
+
+def qr_like_run(n, with_trace=True):
+    """Synthesize what counters+instrumentation would report for QR."""
+    trace = []
+    if with_trace:
+        blocks = int(n)  # working set scales with n
+        trace = list(range(blocks)) * 3  # streaming passes
+    return InstrumentedRun(
+        problem_size=float(n),
+        flop_count=qr_total_mflop(n) * 1e6,
+        memory_trace=trace,
+        input_bytes=qr_matrix_bytes(int(n)),
+        output_bytes=qr_matrix_bytes(int(n)),
+        resident_bytes=float(n * n * 8),
+    )
+
+
+class TestInstrumentedRun:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstrumentedRun(problem_size=0.0, flop_count=1.0)
+        with pytest.raises(ValueError):
+            InstrumentedRun(problem_size=1.0, flop_count=-1.0)
+
+
+class TestSuggestTrainingSizes:
+    def test_geometric_spacing(self):
+        sizes = suggest_training_sizes(100.0, n_sizes=4, ratio=2.0)
+        assert sizes == [100.0, 200.0, 400.0, 800.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            suggest_training_sizes(0.0)
+        with pytest.raises(ValueError):
+            suggest_training_sizes(10.0, n_sizes=1)
+        with pytest.raises(ValueError):
+            suggest_training_sizes(10.0, ratio=1.0)
+
+
+class TestConstruction:
+    def test_needs_two_distinct_sizes(self):
+        with pytest.raises(ValueError):
+            construct_component_model([qr_like_run(100)])
+        with pytest.raises(ValueError):
+            construct_component_model([qr_like_run(100), qr_like_run(100)])
+
+    def test_flop_extrapolation(self):
+        runs = [qr_like_run(n, with_trace=False)
+                for n in suggest_training_sizes(100, n_sizes=5)]
+        model = construct_component_model(runs)
+        for n in (2000, 5000):
+            assert model.mflop(n) == pytest.approx(qr_total_mflop(n),
+                                                   rel=0.05)
+
+    def test_volume_models_fitted(self):
+        runs = [qr_like_run(n, with_trace=False) for n in (100, 200, 400)]
+        model = construct_component_model(runs)
+        assert model.input_bytes(1000) == pytest.approx(
+            qr_matrix_bytes(1000), rel=0.05)
+        assert model.memory_required_bytes(1000) == pytest.approx(
+            1000 * 1000 * 8, rel=0.05)
+
+    def test_zero_volumes_stay_zero(self):
+        runs = [InstrumentedRun(problem_size=float(n), flop_count=n * 1e6)
+                for n in (10, 20, 40)]
+        model = construct_component_model(runs)
+        assert model.input_bytes(100) == 0.0
+        assert model.output_bytes(100) == 0.0
+
+    def test_mrd_model_built_from_traces(self):
+        runs = [qr_like_run(n) for n in (64, 128, 256)]
+        model = construct_component_model(runs)
+        assert model.mrd_model is not None
+        # streaming working set of ~n blocks: big cache hits, tiny misses
+        line = 64
+        big = model.mrd_model.predict_miss_fraction(512, 1024 * line, line)
+        small = model.mrd_model.predict_miss_fraction(512, 16 * line, line)
+        assert small > big
+
+    def test_no_traces_no_mrd(self):
+        runs = [qr_like_run(n, with_trace=False) for n in (64, 128)]
+        model = construct_component_model(runs)
+        assert model.mrd_model is None
+
+    def test_constructed_model_usable_for_scheduling(self):
+        """End-to-end: the constructed model plugs into eligibility and
+        cpu_seconds exactly like a hand-written one."""
+        runs = [qr_like_run(n) for n in (64, 128, 256)]
+        model = construct_component_model(runs)
+        seconds = model.cpu_seconds(1000, ARCH_PIII_933)
+        assert seconds > 0
+        # memory eligibility: a 1 GB machine can't hold a 16000^2 matrix
+        tiny = Architecture(name="tiny", mflops=100.0,
+                            memory_bytes=1 << 30)
+        assert model.eligible(1000, tiny)
+        assert not model.eligible(16000, tiny)
+
+    def test_memory_seconds_respects_cache_config(self):
+        runs = [qr_like_run(n) for n in (64, 128, 256)]
+        model = construct_component_model(runs)
+        big_cache = Architecture(
+            name="big", mflops=100.0,
+            caches=(CacheLevel(size=8 << 20, miss_penalty=1e-7),))
+        small_cache = Architecture(
+            name="small", mflops=100.0,
+            caches=(CacheLevel(size=16 << 10, miss_penalty=1e-7),))
+        assert model.memory_seconds(512, small_cache) >= \
+            model.memory_seconds(512, big_cache)

@@ -1,0 +1,176 @@
+"""Tests for memory-reuse-distance analysis and cross-size MRD models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import MrdModel, ReuseHistogram, reuse_distances
+
+
+def streaming_trace(n_blocks, passes):
+    """Sequential sweep over n_blocks, repeated `passes` times.
+
+    Every non-cold access has reuse distance exactly n_blocks - 1.
+    """
+    return list(range(n_blocks)) * passes
+
+
+class TestReuseDistances:
+    def test_cold_accesses_flagged(self):
+        assert reuse_distances([1, 2, 3]) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([5, 5]) == [-1, 0]
+
+    def test_one_intervening_block(self):
+        assert reuse_distances([1, 2, 1]) == [-1, -1, 1]
+
+    def test_duplicate_intervening_blocks_count_once(self):
+        # between the two 1s: blocks {2} only, accessed twice
+        assert reuse_distances([1, 2, 2, 1]) == [-1, -1, 0, 1]
+
+    def test_streaming_pattern(self):
+        distances = reuse_distances(streaming_trace(4, 3))
+        # first pass cold, later passes distance 3
+        assert distances[:4] == [-1, -1, -1, -1]
+        assert distances[4:] == [3] * 8
+
+    def test_stack_property_lru(self):
+        # classic example: a b c b a -> a's second access sees {b, c}
+        assert reuse_distances([1, 2, 3, 2, 1]) == [-1, -1, -1, 1, 2]
+
+    def test_empty_trace(self):
+        assert reuse_distances([]) == []
+
+    def test_matches_naive_on_random_trace(self):
+        rng = np.random.default_rng(0)
+        trace = list(rng.integers(0, 30, 300))
+
+        def naive(trace):
+            out = []
+            last = {}
+            for t, b in enumerate(trace):
+                if b not in last:
+                    out.append(-1)
+                else:
+                    out.append(len(set(trace[last[b] + 1:t])))
+                last[b] = t
+            return out
+
+        assert reuse_distances(trace) == naive(trace)
+
+
+class TestReuseHistogram:
+    def test_from_trace_counts(self):
+        hist = ReuseHistogram.from_trace(10, streaming_trace(10, 3))
+        assert hist.total_accesses == 30
+        assert hist.cold_accesses == 10
+
+    def test_streaming_histogram_is_flat(self):
+        hist = ReuseHistogram.from_trace(8, streaming_trace(8, 4))
+        assert all(d == pytest.approx(7.0) for d in hist.percentile_distances)
+
+    def test_miss_fraction_large_cache_only_cold(self):
+        hist = ReuseHistogram.from_trace(8, streaming_trace(8, 4))
+        # cache holds all 8 blocks -> only the 8 cold misses
+        assert hist.miss_fraction(cache_blocks=16) == pytest.approx(8 / 32)
+
+    def test_miss_fraction_tiny_cache_all_miss(self):
+        hist = ReuseHistogram.from_trace(8, streaming_trace(8, 4))
+        # streaming over 8 blocks thrashes a 4-block LRU cache entirely
+        assert hist.miss_fraction(cache_blocks=4) == pytest.approx(1.0)
+
+    def test_empty_trace_histogram(self):
+        hist = ReuseHistogram.from_trace(1, [])
+        assert hist.miss_fraction(64) == 0.0
+
+    def test_bin_count_validated(self):
+        with pytest.raises(ValueError):
+            ReuseHistogram.from_trace(1, [1, 2], n_bins=0)
+
+
+class TestMrdModel:
+    @staticmethod
+    def fitted_model(sizes=(16, 32, 64), passes=4):
+        hists = [ReuseHistogram.from_trace(n, streaming_trace(n, passes))
+                 for n in sizes]
+        return MrdModel.fit(hists)
+
+    def test_predicts_distance_scaling(self):
+        """Streaming reuse distance is ~n; the model must extrapolate a
+        miss cliff at cache_blocks ~ n for unseen n."""
+        model = self.fitted_model()
+        line = 64
+        n = 256  # unseen, 4x the largest training size
+        # cache with 512 lines holds the whole 256-block working set: hits
+        small_misses = model.predict_miss_count(n, cache_bytes=512 * line,
+                                                line_bytes=line)
+        # cache with 64 lines thrashes: everything misses
+        big_misses = model.predict_miss_count(n, cache_bytes=64 * line,
+                                              line_bytes=line)
+        total = model.predict_accesses(n)
+        assert small_misses / total < 0.35
+        assert big_misses / total > 0.95
+
+    def test_access_count_extrapolation(self):
+        model = self.fitted_model(passes=4)
+        assert model.predict_accesses(128) == pytest.approx(512, rel=0.05)
+
+    def test_miss_fraction_bounded(self):
+        model = self.fitted_model()
+        for n in (10, 100, 1000):
+            for cache in (1024, 64 * 1024, 1024 ** 2):
+                frac = model.predict_miss_fraction(n, cache)
+                assert 0.0 <= frac <= 1.0
+
+    def test_fraction_monotone_in_cache_size(self):
+        model = self.fitted_model()
+        fractions = [model.predict_miss_fraction(200, cache)
+                     for cache in (1024, 8192, 65536, 1024 ** 2)]
+        assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_fit_validation(self):
+        hist = ReuseHistogram.from_trace(16, streaming_trace(16, 2))
+        with pytest.raises(ValueError):
+            MrdModel.fit([hist])
+        with pytest.raises(ValueError):
+            MrdModel.fit([hist, hist])  # same size twice
+
+    def test_mixed_bin_counts_rejected(self):
+        h1 = ReuseHistogram.from_trace(16, streaming_trace(16, 2), n_bins=8)
+        h2 = ReuseHistogram.from_trace(32, streaming_trace(32, 2), n_bins=16)
+        with pytest.raises(ValueError):
+            MrdModel.fit([h1, h2])
+
+    def test_cache_validation(self):
+        model = self.fitted_model()
+        with pytest.raises(ValueError):
+            model.predict_miss_count(100, cache_bytes=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=st.lists(st.integers(min_value=0, max_value=20),
+                      min_size=0, max_size=200))
+def test_property_distances_match_naive(trace):
+    """The Fenwick-tree algorithm agrees with the quadratic definition."""
+    last = {}
+    expected = []
+    for t, b in enumerate(trace):
+        if b not in last:
+            expected.append(-1)
+        else:
+            expected.append(len(set(trace[last[b] + 1:t])))
+        last[b] = t
+    assert reuse_distances(trace) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=st.lists(st.integers(min_value=0, max_value=15),
+                      min_size=1, max_size=100))
+def test_property_histogram_miss_fraction_monotone(trace):
+    hist = ReuseHistogram.from_trace(1, trace)
+    caches = [1, 2, 4, 8, 16, 32]
+    fracs = [hist.miss_fraction(c) for c in caches]
+    assert all(a >= b - 1e-12 for a, b in zip(fracs, fracs[1:]))
+    assert all(0.0 <= f <= 1.0 for f in fracs)

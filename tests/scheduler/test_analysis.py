@@ -1,0 +1,118 @@
+"""Tests for schedule analysis utilities."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.microgrid import fig3_testbed
+from repro.gis import GridInformationService
+from repro.nws import NetworkWeatherService
+from repro.perfmodel import AnalyticComponentModel
+from repro.scheduler import (
+    GradsWorkflowScheduler,
+    Schedule,
+    Workflow,
+    WorkflowComponent,
+    analyze,
+    gantt,
+    load_balance,
+    makespan_lower_bound,
+    utilization,
+)
+
+
+def env():
+    sim = Simulator()
+    grid = fig3_testbed(sim)
+    gis = GridInformationService()
+    gis.register_grid(grid)
+    nws = NetworkWeatherService(sim, grid, deploy_network_sensors=False)
+    return sim, grid, gis, nws
+
+
+def fan_workflow(width=8, mflop=1000.0):
+    wf = Workflow("fan")
+    wf.add_component(WorkflowComponent(
+        name="par", problem_size=1.0, n_tasks=width,
+        model=AnalyticComponentModel(mflop_fn=lambda n: mflop * width)))
+    return wf
+
+
+class TestLowerBound:
+    def test_aggregate_bound_binds_wide_workflows(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=100, mflop=1000.0)
+        resources = gis.resources()
+        bound = makespan_lower_bound(wf, resources)
+        aggregate = sum(r.mflops for r in resources)
+        assert bound == pytest.approx(100 * 1000.0 / aggregate)
+
+    def test_critical_path_bound_binds_chains(self):
+        sim, grid, gis, nws = env()
+        wf = Workflow("chain")
+        prev = None
+        for i in range(5):
+            wf.add_component(WorkflowComponent(
+                name=f"s{i}", problem_size=1.0,
+                model=AnalyticComponentModel(mflop_fn=lambda n: 1000.0)))
+            if prev:
+                wf.add_dependence(prev, f"s{i}")
+            prev = f"s{i}"
+        bound = makespan_lower_bound(wf, gis.resources())
+        fastest = max(r.mflops for r in gis.resources())
+        assert bound == pytest.approx(5 * 1000.0 / fastest)
+
+    def test_empty_resources_rejected(self):
+        wf = fan_workflow()
+        with pytest.raises(ValueError):
+            makespan_lower_bound(wf, [])
+
+    def test_every_heuristic_respects_bound(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=12, mflop=2000.0)
+        result = GradsWorkflowScheduler(gis, nws).schedule(wf)
+        bound = makespan_lower_bound(wf, gis.resources())
+        for schedule in result.candidates.values():
+            assert schedule.makespan >= bound - 1e-9
+
+
+class TestStats:
+    def test_analyze_reports_gap_and_utilization(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=12, mflop=2000.0)
+        result = GradsWorkflowScheduler(gis, nws).schedule(wf)
+        stats = analyze(wf, result.best, gis.resources())
+        assert stats.optimality_gap >= 1.0
+        assert 0.0 < stats.mean_utilization <= 1.0
+        assert stats.max_utilization <= 1.0 + 1e-9
+        assert stats.n_resources_used >= 6
+        assert stats.imbalance >= 1.0
+
+    def test_empty_schedule_degenerate(self):
+        empty = Schedule(heuristic="none")
+        assert utilization(empty) == {}
+        assert load_balance(empty) == 1.0
+
+    def test_single_resource_perfect_balance(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=1)
+        result = GradsWorkflowScheduler(gis, nws).schedule(wf)
+        assert load_balance(result.best) == pytest.approx(1.0)
+
+
+class TestGantt:
+    def test_renders_rows_per_resource(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=6, mflop=2000.0)
+        result = GradsWorkflowScheduler(gis, nws).schedule(wf)
+        chart = gantt(result.best, width=40)
+        used = {p.resource for p in result.best.placements.values()}
+        lines = chart.splitlines()
+        assert len(lines) == 1 + len(used)
+        for line in lines[1:]:
+            assert line.endswith("|")
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+            assert "p" in bar  # component glyph
+
+    def test_empty_schedule_placeholder(self):
+        assert "empty" in gantt(Schedule(heuristic="x"))

@@ -1,0 +1,160 @@
+"""Tests for Store and Semaphore primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Semaphore, SimulationError, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield sim.timeout(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        times = []
+
+        def consumer():
+            item = yield store.get()
+            times.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.call_after(5.0, lambda: store.put("late"))
+        sim.run()
+        assert times == [(5.0, "late")]
+
+    def test_capacity_blocks_producer(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        trace = []
+
+        def producer():
+            yield store.put("a")
+            trace.append(("a-in", sim.now))
+            yield store.put("b")
+            trace.append(("b-in", sim.now))
+
+        def consumer():
+            yield sim.timeout(10.0)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert trace[0] == ("a-in", 0.0)
+        assert trace[1][1] == pytest.approx(10.0)  # waited for the get
+
+    def test_multiple_waiting_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.call_after(1.0, lambda: store.put("x"))
+        sim.call_after(2.0, lambda: store.put("y"))
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestSemaphore:
+    def test_acquire_release_cycle(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=2)
+        order = []
+
+        def worker(tag, hold):
+            yield sem.acquire()
+            order.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            sem.release()
+            order.append((tag, "out", sim.now))
+
+        sim.process(worker("a", 5.0))
+        sim.process(worker("b", 5.0))
+        sim.process(worker("c", 1.0))
+        sim.run()
+        # a and b enter immediately; c waits for the first release
+        entries = [(tag, t) for tag, what, t in order if what == "in"]
+        assert entries[0][1] == 0.0 and entries[1][1] == 0.0
+        assert entries[2] == ("c", 5.0)
+
+    def test_over_release_rejected(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_count_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Semaphore(sim, count=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        sem.acquire()
+        assert sem.available == 0
+        sem.acquire()  # queues
+        assert sem.n_waiting == 1
+        sem.release()  # hands to waiter
+        assert sem.n_waiting == 0
+        assert sem.available == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(items=st.lists(st.integers(), min_size=0, max_size=30),
+       capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=5)))
+def test_property_store_preserves_order_and_count(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == items

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.command == "fig3"
+        assert "6000" in args.sizes
+
+    def test_fig4_policy_choices(self):
+        args = build_parser().parse_args(["fig4", "--policy", "single"])
+        assert args.policy == "single"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--policy", "bogus"])
+
+
+class TestCommands:
+    def test_fig3_small(self, capsys):
+        rc = main(["fig3", "--sizes", "4000", "--no-decisions"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "no-reschedule" in out
+
+    def test_fig3_bad_sizes(self, capsys):
+        assert main(["fig3", "--sizes", "abc"]) == 2
+        assert main(["fig3", "--sizes", ""]) == 2
+
+    def test_fig4_none_policy(self, capsys):
+        rc = main(["fig4", "--policy", "none", "--iterations", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "policy: none" in out
+
+    def test_opportunistic_disabled(self, capsys):
+        rc = main(["opportunistic", "--disable"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "daemon off" in out
+
+    def test_describe(self, tmp_path, capsys):
+        dml = tmp_path / "grid.dml"
+        dml.write_text("arch a mflops=100\n"
+                       "cluster c arch=a hosts=3 nic=100Mb lat=0.1ms\n")
+        rc = main(["describe", str(dml)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 hosts" in out
+        assert "c" in out
+
+    def test_describe_missing_file(self, capsys):
+        assert main(["describe", "/nonexistent/grid.dml"]) == 2
