@@ -3,10 +3,11 @@
 ::
 
     python -m repro fig3  --sizes 6000,8000,10000
-    python -m repro fig4  --policy gang
+    python -m repro fig4  --policy gang --stats
     python -m repro eman
     python -m repro opportunistic
     python -m repro describe path/to/grid.dml
+    python -m repro bench --compare
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from .experiments.eman_demo import run_eman_demo
 from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
 from .experiments.fig4_swap import run_fig4
 from .experiments.opportunistic import run_opportunistic
+from .experiments.substrate import run_substrate_bench
 from .experiments.common import format_table
 from .microgrid.dml import parse_grid
 from .rescheduling.swapping import SWAP_POLICIES
@@ -44,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--policy", default="gang",
                       choices=sorted(SWAP_POLICIES) + ["none"])
     fig4.add_argument("--iterations", type=int, default=120)
+    fig4.add_argument("--stats", action="store_true",
+                      help="print kernel/substrate perf counters after the run")
 
     sub.add_parser("eman", help="Section 3.3: EMAN workflow demo")
 
@@ -55,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser("describe",
                               help="validate and summarize a DML topology")
     describe.add_argument("path", help="DML file")
+
+    bench = sub.add_parser(
+        "bench", help="substrate stress benchmark (64 flows / 32 hosts)")
+    bench.add_argument("--transfers", type=int, default=1500,
+                       help="total transfers to complete")
+    bench.add_argument("--allocator", default="incremental",
+                       choices=["incremental", "reference"])
+    bench.add_argument("--compare", action="store_true",
+                       help="run both allocators and report the speedup")
     return parser
 
 
@@ -87,6 +100,13 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
           f"-> {result.swapped_to}")
     print(f"finished at t={result.finished_at:.1f} s "
           f"(policy: {result.policy})")
+    if args.stats:
+        print("\nsubstrate counters:")
+        for key, value in result.stats.items():
+            if isinstance(value, float) and not value.is_integer():
+                print(f"  {key}: {value:.3f}")
+            else:
+                print(f"  {key}: {int(value)}")
     return 0
 
 
@@ -132,12 +152,41 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_row(stats: dict) -> List[str]:
+    return [str(stats["allocator"]),
+            f"{stats['wall_seconds']:.3f}",
+            f"{stats['events_per_sec']:,.0f}",
+            f"{int(stats['events_processed'])}",
+            f"{int(stats['reallocations'])}",
+            f"{int(stats['wakeups_cancelled'])}",
+            f"{stats['route_cache_hit_rate']:.3f}"]
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    allocators = (["incremental", "reference"] if args.compare
+                  else [args.allocator])
+    results = [run_substrate_bench(total_transfers=args.transfers,
+                                   allocator=alloc)
+               for alloc in allocators]
+    print(format_table(
+        ["allocator", "wall (s)", "events/sec", "events", "reallocs",
+         "stale wakeups", "route hit rate"],
+        [_bench_row(stats) for stats in results],
+        title=f"substrate benchmark: 64 flows / 32 hosts, "
+              f"{args.transfers} transfers"))
+    if args.compare:
+        speedup = results[1]["wall_seconds"] / results[0]["wall_seconds"]
+        print(f"\nincremental allocator speedup: {speedup:.2f}x")
+    return 0
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
     "eman": _cmd_eman,
     "opportunistic": _cmd_opportunistic,
     "describe": _cmd_describe,
+    "bench": _cmd_bench,
 }
 
 

@@ -17,6 +17,7 @@ from .opportunistic import (
     asymmetric_grid,
     run_opportunistic,
 )
+from .substrate import build_substrate_grid, run_substrate_bench
 
 __all__ = [
     "OpportunisticResult",
@@ -30,10 +31,12 @@ __all__ = [
     "PHASES",
     "WORST_CASE_SECONDS",
     "bar_chart",
+    "build_substrate_grid",
     "format_series",
     "format_table",
     "run_eman_demo",
     "run_fig3",
     "run_fig3_point",
     "run_fig4",
+    "run_substrate_bench",
 ]

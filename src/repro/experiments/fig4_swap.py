@@ -38,6 +38,8 @@ class Fig4Result:
     swapped_to: List[str] = field(default_factory=list)
     finished_at: float = 0.0
     policy: str = "gang"
+    #: kernel/substrate perf counters for the run (sim.stats snapshot)
+    stats: dict = field(default_factory=dict)
 
     def iterations_by(self, time: float) -> int:
         """Iterations completed by a given virtual time."""
@@ -91,4 +93,5 @@ def run_fig4(n_bodies: int = 9000, n_iterations: int = 120,
         swap_times=[record.time for record in app.job.swap_log],
         swapped_to=[record.new_host for record in app.job.swap_log],
         finished_at=sim.now,
-        policy=policy if with_swapping else "none")
+        policy=policy if with_swapping else "none",
+        stats=sim.stats.snapshot())

@@ -1,0 +1,133 @@
+"""Substrate stress workload: the hot-path benchmark behind every figure.
+
+All paper experiments ride on ``repro.sim`` + ``repro.microgrid``; this
+module drives those layers directly, with no scheduler on top, so the
+kernel/network overhead is the only thing measured.  The workload is a
+32-host, 8-cluster grid carrying 64 concurrent flows (3:1 mix of
+intra-cluster to cross-cluster traffic, the locality of real grid
+transfers); every completion immediately launches a replacement flow, so
+each of the ~thousands of flow events perturbs the max-min allocation —
+the worst case for the pre-overhaul from-scratch allocator and the
+intended case for the incremental one.
+
+``run_substrate_bench(allocator="incremental")`` vs ``"reference"``
+isolates the allocator speedup: both modes produce identical flow
+timelines (property-tested in ``tests/microgrid/test_network.py``), so
+wall-clock and events/sec are directly comparable.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+from ..microgrid.host import Architecture, Host
+from ..microgrid.network import Topology
+from ..sim.kernel import Simulator
+
+__all__ = ["build_substrate_grid", "run_substrate_bench"]
+
+#: access links: 1 Gbit/s, 0.1 ms; backbone: 10 Gbit/s, 5 ms
+_ACCESS_BW = 125e6
+_ACCESS_LAT = 1e-4
+_CORE_BW = 1.25e9
+_CORE_LAT = 5e-3
+
+
+def build_substrate_grid(sim: Simulator, n_hosts: int = 32,
+                         cluster_size: int = 4,
+                         allocator: str = "incremental"
+                         ) -> Tuple[Topology, List[List[str]]]:
+    """A star-of-stars grid: clusters of hosts around a core router.
+
+    Returns the topology and the host names grouped per cluster.
+    """
+    if n_hosts % cluster_size:
+        raise ValueError("n_hosts must be a multiple of cluster_size")
+    topo = Topology(sim, allocator=allocator)
+    arch = Architecture(name="bench", mflops=1000.0)
+    topo.add_node("core")
+    clusters: List[List[str]] = []
+    for c in range(n_hosts // cluster_size):
+        switch = f"sw{c}"
+        topo.add_node(switch)
+        topo.add_link(switch, "core", bandwidth=_CORE_BW, latency=_CORE_LAT)
+        names = []
+        for i in range(cluster_size):
+            name = f"h{c}.{i}"
+            topo.attach_host(Host(sim, name, arch))
+            topo.add_link(name, switch, bandwidth=_ACCESS_BW,
+                          latency=_ACCESS_LAT)
+            names.append(name)
+        clusters.append(names)
+    return topo, clusters
+
+
+def _flow_spec(slot: int, seq: int, clusters: List[List[str]]
+               ) -> Tuple[str, str, float]:
+    """Deterministic (src, dst, nbytes) for the ``seq``-th flow of a slot.
+
+    Slots with ``slot % 4 == 3`` carry cross-cluster traffic through the
+    backbone; the rest stay inside one cluster.  Sizes cycle through a
+    13-step pattern so completions interleave rather than synchronise.
+    """
+    n_clusters = len(clusters)
+    cluster_size = len(clusters[0])
+    mix = slot * 7919 + seq * 104729  # two primes decorrelate the streams
+    if slot % 4 == 3:
+        a = clusters[slot % n_clusters]
+        b = clusters[(slot + 1 + mix % (n_clusters - 1)) % n_clusters]
+        src = a[mix % cluster_size]
+        dst = b[(mix // 7) % cluster_size]
+    else:
+        hosts = clusters[slot % n_clusters]
+        src = hosts[mix % cluster_size]
+        dst = hosts[(mix % cluster_size + 1 + (mix // 11) % (cluster_size - 1))
+                    % cluster_size]
+    nbytes = 0.5e6 * (1 + mix % 13)
+    return src, dst, nbytes
+
+
+def run_substrate_bench(n_hosts: int = 32, concurrent_flows: int = 64,
+                        total_transfers: int = 1500,
+                        allocator: str = "incremental") -> Dict[str, float]:
+    """Run the closed-loop flow churn and report counters + events/sec.
+
+    ``concurrent_flows`` transfer slots each keep one flow in flight;
+    the run ends once ``total_transfers`` flows have completed in total.
+    """
+    sim = Simulator()
+    topo, clusters = build_substrate_grid(sim, n_hosts=n_hosts,
+                                          allocator=allocator)
+    state = {"started": 0, "completed": 0}
+
+    def launch(slot: int) -> None:
+        seq = state["started"]
+        if seq >= total_transfers:
+            return
+        state["started"] = seq + 1
+        src, dst, nbytes = _flow_spec(slot, seq, clusters)
+        ev = topo.transfer(src, dst, nbytes, tag=str(seq))
+
+        def done(_event) -> None:
+            state["completed"] += 1
+            launch(slot)
+
+        ev.add_callback(done)
+
+    wall_start = perf_counter()
+    for slot in range(concurrent_flows):
+        launch(slot)
+    sim.run()
+    elapsed = perf_counter() - wall_start
+    stats = sim.stats.snapshot()
+    stats.update({
+        "allocator": allocator,
+        "transfers_completed": state["completed"],
+        "bytes_delivered": topo.bytes_delivered,
+        "sim_seconds": sim.now,
+        "wall_seconds": elapsed,
+        "events_per_sec": (sim.stats.events_processed / elapsed
+                           if elapsed > 0 else float("inf")),
+    })
+    return stats

@@ -82,5 +82,7 @@ def dilated_grid(builder: Callable[[Simulator], Grid], sim: Simulator,
         data["bandwidth"] /= dilation
         data["latency"] *= dilation
     grid.topology.local_copy_bw /= dilation
-    grid.topology._paths = None  # latencies changed; drop routing cache
+    # Rates/latencies changed under the topology's feet: drop routing
+    # caches and resync interned capacities (and any in-flight flows).
+    grid.topology._topology_changed()
     return grid

@@ -78,14 +78,15 @@ class Architecture:
             raise ValueError("mflops must be positive")
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Task:
     """Bookkeeping for one compute task on a host.
 
     ``eq=False`` keeps identity comparison: tasks double as opaque
     handles, and two background-load tasks are field-identical, so a
     field-based ``__eq__`` would make ``list.remove`` delete the wrong
-    one and orphan the caller's handle.
+    one and orphan the caller's handle.  ``slots=True`` because busy
+    hosts churn through one of these per compute call.
     """
 
     remaining: float  # Mflop left
@@ -93,6 +94,7 @@ class _Task:
     rate: float = 0.0  # current Mflop/s share
     tag: str = ""
     total: float = field(default=0.0)
+    started_at: float = 0.0
 
 
 class Host:
@@ -167,8 +169,8 @@ class Host:
             ev.succeed(0.0)
             return ev
         self._settle()
-        task = _Task(remaining=float(mflop), event=ev, tag=tag, total=float(mflop))
-        task._start = self.sim.now  # type: ignore[attr-defined]
+        task = _Task(remaining=float(mflop), event=ev, tag=tag,
+                     total=float(mflop), started_at=self.sim.now)
         self._tasks.append(task)
         self._reschedule()
         return ev
@@ -270,6 +272,7 @@ class Host:
 
     def _wake(self, epoch: int) -> None:
         if epoch != self._epoch:
+            self.sim.stats.wakeups_cancelled += 1
             return  # stale wake-up; the task set changed since
         self._settle()
         # Finished = relatively drained, or the residual would drain
@@ -284,7 +287,7 @@ class Host:
         self._reschedule()
         for task in finished:
             assert task.event is not None
-            task.event.succeed(self.sim.now - task._start)  # type: ignore[attr-defined]
+            task.event.succeed(self.sim.now - task.started_at)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Host {self.name} {self.arch.name} {self.speed:.0f}Mflop/s"

@@ -8,6 +8,25 @@ two hosts; link capacities are divided among the flows crossing them by
 progressive-filling **max-min fairness**, recomputed whenever a flow
 starts or finishes.
 
+Two hot paths are engineered for scale (GridSim-style indexed event
+processing rather than per-event rescans):
+
+* **Incremental reallocation.**  Directed edges are interned to integer
+  ids the first time a flow crosses them, and the topology maintains a
+  persistent edge→flows index.  A flow arrival or departure only
+  re-runs progressive filling over the *connected component* of edges
+  and flows actually perturbed — max-min fairness is separable across
+  flow-disjoint components, so untouched components keep their rates.
+  The from-scratch allocator is kept as :func:`reference_max_min` for
+  property testing and as the benchmark baseline
+  (``Topology(..., allocator="reference")``).
+
+* **Routing cache.**  Routes are computed one *source* at a time with a
+  single-source Dijkstra pass (all destinations at once) and cached
+  until the topology mutates; per-pair ``(latency, bottleneck)`` tuples
+  are memoised so :meth:`Topology.estimate_transfer_seconds` is a dict
+  lookup.  Hits/misses are counted in ``sim.stats``.
+
 Capacities are in bytes/s, latencies in seconds, transfers in bytes.
 """
 
@@ -15,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -23,7 +42,7 @@ from ..sim.events import Event
 from ..sim.kernel import Simulator
 from .host import Host
 
-__all__ = ["Link", "Topology", "Flow", "NetworkError"]
+__all__ = ["Link", "Topology", "Flow", "NetworkError", "reference_max_min"]
 
 _EPS = 1e-9
 
@@ -60,6 +79,46 @@ class Flow:
     allocation: float = 0.0  # bytes/s currently granted
     started_at: float = 0.0
     total: float = 0.0
+    edge_ids: Tuple[int, ...] = ()  # interned directed-edge ids (see Topology)
+
+
+def reference_max_min(paths: Sequence[Sequence[int]],
+                      capacity: Dict[int, float]) -> List[float]:
+    """From-scratch progressive-filling max-min fair allocation.
+
+    ``paths[i]`` lists the edge ids flow ``i`` crosses; ``capacity``
+    maps edge id to bandwidth.  Returns the per-flow rates.  This is
+    the pre-overhaul O(rounds × flows × path) algorithm, kept pure (no
+    topology state) as the oracle for the Hypothesis property tests and
+    as the ``allocator="reference"`` benchmark baseline.
+    """
+    n = len(paths)
+    alloc = [0.0] * n
+    residual: Dict[int, float] = {}
+    users: Dict[int, List[int]] = {}
+    for i, path in enumerate(paths):
+        for e in path:
+            residual.setdefault(e, capacity[e])
+            users.setdefault(e, []).append(i)
+    unfixed = set(range(n))
+    while unfixed:
+        # Find the bottleneck: the edge with the smallest fair share.
+        best_e, best_share = None, math.inf
+        for e, flows in users.items():
+            active = [i for i in flows if i in unfixed]
+            if not active:
+                continue
+            share = residual[e] / len(active)
+            if share < best_share:
+                best_share, best_e = share, e
+        if best_e is None:
+            break  # remaining flows cross no constrained edge
+        for i in [i for i in users[best_e] if i in unfixed]:
+            alloc[i] = best_share
+            unfixed.discard(i)
+            for e in paths[i]:
+                residual[e] = max(residual[e] - best_share, 0.0)
+    return alloc
 
 
 class Topology:
@@ -68,17 +127,32 @@ class Topology:
     Nodes are strings (host names and router names); hosts must be
     attached via :meth:`attach_host` before they can transfer.  Local
     (same-host) transfers complete at ``local_copy_bw``.
+
+    ``allocator`` selects the reallocation strategy: ``"incremental"``
+    (default; component-scoped progressive filling) or ``"reference"``
+    (full recompute on every flow event, for benchmarking/validation —
+    both produce identical allocations).
     """
 
-    def __init__(self, sim: Simulator, local_copy_bw: float = 1e9) -> None:
+    def __init__(self, sim: Simulator, local_copy_bw: float = 1e9,
+                 allocator: str = "incremental") -> None:
+        if allocator not in ("incremental", "reference"):
+            raise ValueError(f"unknown allocator {allocator!r}")
         self.sim = sim
         self.graph = nx.Graph()
         self.local_copy_bw = float(local_copy_bw)
+        self.allocator = allocator
         self._hosts: Dict[str, Host] = {}
         self._flows: List[Flow] = []
         self._last_update = sim.now
         self._epoch = 0
-        self._paths: Optional[dict] = None  # routing cache
+        # -- edge interning (stable across route-cache invalidation) --
+        self._edge_ids: Dict[Tuple[str, str], int] = {}  # directed pair -> id
+        self._edge_cap: List[float] = []  # id -> bandwidth (refreshed on mutation)
+        self._edge_users: List[List[Flow]] = []  # id -> flows currently crossing
+        # -- routing caches (cleared on any topology mutation) --
+        self._sssp: Dict[str, Tuple[Dict[str, float], Dict[str, List[str]]]] = {}
+        self._metrics: Dict[Tuple[str, str], Tuple[float, float]] = {}
         #: cumulative bytes delivered (for accounting/benchmarks)
         self.bytes_delivered = 0.0
 
@@ -86,7 +160,7 @@ class Topology:
     def add_node(self, name: str) -> None:
         """Add a routing-only node (e.g. a WAN router)."""
         self.graph.add_node(name)
-        self._paths = None
+        self._topology_changed()
 
     def attach_host(self, host: Host) -> None:
         """Register a host as an endpoint node."""
@@ -94,15 +168,39 @@ class Topology:
             raise NetworkError(f"duplicate host {host.name!r}")
         self._hosts[host.name] = host
         self.graph.add_node(host.name)
-        self._paths = None
+        self._topology_changed()
 
     def add_link(self, a: str, b: str, bandwidth: float, latency: float) -> Link:
-        """Connect two nodes with a bidirectional link."""
+        """Connect two nodes with a bidirectional link.
+
+        Adding (or re-adding, to change bandwidth/latency) a link while
+        flows are in flight settles their progress and reallocates, so
+        the new capacity takes effect immediately rather than at the
+        next unrelated flow event.
+        """
         link = Link(a, b, bandwidth, latency)
         self.graph.add_edge(a, b, bandwidth=float(bandwidth),
                             latency=float(latency))
-        self._paths = None
+        self._topology_changed()
         return link
+
+    def _topology_changed(self) -> None:
+        """Invalidate routing caches and re-fit in-flight flows."""
+        self._sssp.clear()
+        self._metrics.clear()
+        # An add_link over an existing edge rewrites its capacity; keep
+        # the interned capacities in sync (edge ids themselves are
+        # stable: they name directed node pairs, not graph epochs).
+        graph_edges = self.graph.edges
+        for (u, v), eid in self._edge_ids.items():
+            if (u, v) in graph_edges:
+                self._edge_cap[eid] = graph_edges[u, v]["bandwidth"]
+        if self._flows:
+            # In-flight flows keep their paths but must share the new
+            # capacities from *now*; without this they would coast on
+            # stale allocations until the next flow arrival/departure.
+            self._settle()
+            self._reallocate()
 
     def host(self, name: str) -> Host:
         """Look up an attached host by name."""
@@ -116,35 +214,58 @@ class Topology:
         return list(self._hosts.values())
 
     # -- routing ------------------------------------------------------------------
+    def _sssp_from(self, src: str) -> Tuple[Dict[str, float], Dict[str, List[str]]]:
+        """Distances and paths from ``src`` to every reachable node."""
+        entry = self._sssp.get(src)
+        if entry is None:
+            self.sim.stats.route_cache_misses += 1
+            if src not in self.graph:
+                raise NetworkError(f"no route from unknown node {src!r}")
+            dist, paths = nx.single_source_dijkstra(self.graph, src,
+                                                    weight="latency")
+            entry = (dist, paths)
+            self._sssp[src] = entry
+        else:
+            self.sim.stats.route_cache_hits += 1
+        return entry
+
     def route(self, src: str, dst: str) -> List[str]:
         """Shortest path by latency between two nodes."""
-        if self._paths is None:
-            self._paths = {}
-        key = (src, dst)
-        path = self._paths.get(key)
+        _dist, paths = self._sssp_from(src)
+        path = paths.get(dst)
         if path is None:
-            try:
-                path = nx.shortest_path(self.graph, src, dst, weight="latency")
-            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-                raise NetworkError(f"no route {src!r} -> {dst!r}") from exc
-            self._paths[key] = path
+            raise NetworkError(f"no route {src!r} -> {dst!r}")
         return path
+
+    def _path_metrics(self, src: str, dst: str) -> Tuple[float, float]:
+        """Memoised ``(latency, bottleneck_bw)`` of the routed path."""
+        key = (src, dst)
+        metrics = self._metrics.get(key)
+        if metrics is None:
+            dist, paths = self._sssp_from(src)
+            path = paths.get(dst)
+            if path is None:
+                raise NetworkError(f"no route {src!r} -> {dst!r}")
+            edges = self.graph.edges
+            bottleneck = min(edges[u, v]["bandwidth"]
+                             for u, v in zip(path, path[1:]))
+            metrics = (dist[dst], bottleneck)
+            self._metrics[key] = metrics
+        else:
+            self.sim.stats.route_cache_hits += 1
+        return metrics
 
     def path_latency(self, src: str, dst: str) -> float:
         """One-way latency along the routed path (0 for local)."""
         if src == dst:
             return 0.0
-        path = self.route(src, dst)
-        return sum(self.graph.edges[u, v]["latency"]
-                   for u, v in zip(path, path[1:]))
+        return self._path_metrics(src, dst)[0]
 
     def path_bottleneck_bw(self, src: str, dst: str) -> float:
         """Raw bottleneck capacity along the path, ignoring other flows."""
         if src == dst:
             return self.local_copy_bw
-        path = self.route(src, dst)
-        return min(self.graph.edges[u, v]["bandwidth"]
-                   for u, v in zip(path, path[1:]))
+        return self._path_metrics(src, dst)[1]
 
     def estimate_transfer_seconds(self, src: str, dst: str, nbytes: float) -> float:
         """Latency + bytes/bottleneck estimate, as an NWS client would make.
@@ -154,7 +275,10 @@ class Topology:
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
-        return self.path_latency(src, dst) + nbytes / self.path_bottleneck_bw(src, dst)
+        if src == dst:
+            return nbytes / self.local_copy_bw
+        latency, bottleneck = self._path_metrics(src, dst)
+        return latency + nbytes / bottleneck
 
     # -- transfers -------------------------------------------------------------------
     def transfer(self, src: str, dst: str, nbytes: float, tag: str = "") -> Event:
@@ -171,81 +295,154 @@ class Topology:
             self.sim.call_after(delay, lambda: ev.succeed(self.sim.now - start))
             return ev
         path_nodes = self.route(src, dst)
-        latency = self.path_latency(src, dst)
+        latency = self._path_metrics(src, dst)[0]
         if nbytes == 0:
             self.sim.call_after(latency, lambda: ev.succeed(self.sim.now - start))
             return ev
         edges = tuple(zip(path_nodes, path_nodes[1:]))
         flow = Flow(src=src, dst=dst, path=edges, remaining=float(nbytes),
-                    event=ev, started_at=start, total=float(nbytes))
+                    event=ev, started_at=start, total=float(nbytes),
+                    edge_ids=self._intern_edges(edges))
         # The first byte spends `latency` in the pipe before streaming
         # begins; model it as a delayed flow start.
         self.sim.call_after(latency, lambda: self._start_flow(flow))
         return ev
 
+    # -- edge interning -------------------------------------------------------------
+    def _intern_edges(self, edges: Iterable[Tuple[str, str]]) -> Tuple[int, ...]:
+        """Map directed edges to stable integer ids, registering new ones.
+
+        Links are full duplex: (u, v) and (v, u) intern to distinct ids
+        with independent capacity.
+        """
+        edge_ids = self._edge_ids
+        out = []
+        for pair in edges:
+            eid = edge_ids.get(pair)
+            if eid is None:
+                eid = len(self._edge_cap)
+                edge_ids[pair] = eid
+                self._edge_cap.append(self.graph.edges[pair]["bandwidth"])
+                self._edge_users.append([])
+            out.append(eid)
+        return tuple(out)
+
     # -- max-min fair sharing ------------------------------------------------------
     def _start_flow(self, flow: Flow) -> None:
         self._settle()
         self._flows.append(flow)
-        self._reallocate()
+        users = self._edge_users
+        for eid in flow.edge_ids:
+            users[eid].append(flow)
+        self._reallocate(seed_edges=flow.edge_ids)
 
     def _settle(self) -> None:
         now = self.sim.now
         dt = now - self._last_update
         if dt > 0:
+            delivered = 0.0
             for flow in self._flows:
                 moved = flow.allocation * dt
                 flow.remaining -= moved
-                self.bytes_delivered += moved
+                delivered += moved
+            self.bytes_delivered += delivered
         self._last_update = now
 
-    def _edge_key(self, u: str, v: str) -> Tuple[str, str]:
-        # Links are full duplex: each direction is an independent capacity.
-        return (u, v)
+    # -- reallocation ---------------------------------------------------------------
+    def _reallocate(self, seed_edges: Optional[Iterable[int]] = None) -> None:
+        """Recompute max-min fair rates after a flow/topology change.
 
-    def _reallocate(self) -> None:
-        """Progressive-filling max-min fair allocation across all flows."""
+        With ``seed_edges`` (the edges of the arriving or departing
+        flows) only the connected component of flows transitively
+        sharing an edge with the perturbation is recomputed; rates
+        outside that component cannot change.  Without it (topology
+        mutation, or ``allocator="reference"``) everything is redone.
+        """
         self._epoch += 1
+        self.sim.stats.reallocations += 1
         if not self._flows:
             return
-        # Residual capacity per directed edge and the unfixed flows on it.
-        residual: Dict[Tuple[str, str], float] = {}
-        users: Dict[Tuple[str, str], List[Flow]] = {}
-        for flow in self._flows:
-            flow.allocation = 0.0
-            for u, v in flow.path:
-                key = self._edge_key(u, v)
-                residual.setdefault(key, self.graph.edges[u, v]["bandwidth"])
-                users.setdefault(key, []).append(flow)
-        unfixed = set(map(id, self._flows))
-        flows_by_id = {id(f): f for f in self._flows}
-        while unfixed:
-            # Find the bottleneck: the edge with the smallest fair share.
-            best_key, best_share = None, math.inf
-            for key, flows in users.items():
-                active = [f for f in flows if id(f) in unfixed]
-                if not active:
-                    continue
-                share = residual[key] / len(active)
-                if share < best_share:
-                    best_share, best_key = share, key
-            if best_key is None:
-                break  # remaining flows cross no constrained edge
-            saturated = [f for f in users[best_key] if id(f) in unfixed]
-            for flow in saturated:
-                flow.allocation = best_share
-                unfixed.discard(id(flow))
-                for u, v in flow.path:
-                    key = self._edge_key(u, v)
-                    residual[key] = max(residual[key] - best_share, 0.0)
-        del flows_by_id
+        if self.allocator == "reference":
+            alloc = reference_max_min(
+                [f.edge_ids for f in self._flows],
+                dict(enumerate(self._edge_cap)))
+            for flow, rate in zip(self._flows, alloc):
+                flow.allocation = rate
+        elif seed_edges is None:
+            self._fill(self._flows)
+        else:
+            component = self._component_flows(seed_edges)
+            if component:
+                self._fill(component)
         self._schedule_next_completion()
+
+    def _component_flows(self, seed_edges: Iterable[int]) -> List[Flow]:
+        """Flows transitively sharing an edge with ``seed_edges``."""
+        users = self._edge_users
+        pending = list(seed_edges)
+        seen_edges = set(pending)
+        seen_flows = set()
+        component: List[Flow] = []
+        while pending:
+            eid = pending.pop()
+            for flow in users[eid]:
+                fid = id(flow)
+                if fid in seen_flows:
+                    continue
+                seen_flows.add(fid)
+                component.append(flow)
+                for other in flow.edge_ids:
+                    if other not in seen_edges:
+                        seen_edges.add(other)
+                        pending.append(other)
+        return component
+
+    def _fill(self, flows: List[Flow]) -> None:
+        """Progressive filling over ``flows`` (a closed component).
+
+        Per-edge residual capacity and unfixed-user counts are kept as
+        dicts keyed by edge id, so each round is one O(edges) scan plus
+        O(path) updates per newly fixed flow — no per-round rescan of
+        every flow on every edge.
+        """
+        cap = self._edge_cap
+        users = self._edge_users
+        residual: Dict[int, float] = {}
+        nactive: Dict[int, int] = {}
+        for flow in flows:
+            flow.allocation = 0.0
+            for eid in flow.edge_ids:
+                if eid in nactive:
+                    nactive[eid] += 1
+                else:
+                    nactive[eid] = 1
+                    residual[eid] = cap[eid]
+        unfixed = {id(f) for f in flows}
+        while unfixed:
+            best_eid, best_share = -1, math.inf
+            for eid, n in nactive.items():
+                if n:
+                    share = residual[eid] / n
+                    if share < best_share:
+                        best_share, best_eid = share, eid
+            if best_eid < 0:
+                break  # remaining flows cross no constrained edge
+            for flow in users[best_eid]:
+                if id(flow) in unfixed:
+                    flow.allocation = best_share
+                    unfixed.discard(id(flow))
+                    for eid in flow.edge_ids:
+                        remaining = residual[eid] - best_share
+                        residual[eid] = remaining if remaining > 0.0 else 0.0
+                        nactive[eid] -= 1
 
     def _schedule_next_completion(self) -> None:
         horizon = math.inf
         for flow in self._flows:
             if flow.allocation > 0:
-                horizon = min(horizon, flow.remaining / flow.allocation)
+                eta = flow.remaining / flow.allocation
+                if eta < horizon:
+                    horizon = eta
         if math.isinf(horizon):
             return
         epoch = self._epoch
@@ -253,6 +450,7 @@ class Topology:
 
     def _wake(self, epoch: int) -> None:
         if epoch != self._epoch:
+            self.sim.stats.wakeups_cancelled += 1
             return
         self._settle()
         # Two completion criteria: the work is relatively drained, or the
@@ -264,9 +462,13 @@ class Topology:
                     if f.remaining <= _EPS * f.total
                     or (f.allocation > 0
                         and f.remaining <= f.allocation * 1e-9)]
+        seed: List[int] = []
         for flow in finished:
             self._flows.remove(flow)
-        self._reallocate()
+            for eid in flow.edge_ids:
+                self._edge_users[eid].remove(flow)
+            seed.extend(flow.edge_ids)
+        self._reallocate(seed_edges=seed)
         for flow in finished:
             flow.event.succeed(self.sim.now - flow.started_at)
 

@@ -219,9 +219,13 @@ def min_min(workflow: Workflow, matrix: RankMatrix,
 def max_min(workflow: Workflow, matrix: RankMatrix,
             nws: NetworkWeatherService) -> Schedule:
     """Commit the ready task with the *largest* best completion time —
-    big tasks first, so they don't straggle at the end."""
+    big tasks first, so they don't straggle at the end.
+
+    Ties break toward the lexicographically smallest task name, the
+    same direction as min-min, so schedules are stable under renaming.
+    """
     def select(candidates):
-        task, j, _ct, _s = max(candidates, key=lambda c: (c[2], c[0].name))
+        task, j, _ct, _s = min(candidates, key=lambda c: (-c[2], c[0].name))
         return task, j
     return _Builder(workflow, matrix, nws).run(select, "max-min")
 
@@ -229,22 +233,32 @@ def max_min(workflow: Workflow, matrix: RankMatrix,
 def sufferage(workflow: Workflow, matrix: RankMatrix,
               nws: NetworkWeatherService) -> Schedule:
     """Commit the task that would suffer most if denied its best
-    resource: largest (second-best - best) completion gap."""
+    resource: largest (second-best - best) completion gap.
+
+    Ties break toward the lexicographically smallest task name (see
+    max_min).
+    """
     def select(candidates):
         def key(c):
             _task, _j, ct, second = c
             gap = (second - ct) if math.isfinite(second) else math.inf
-            return (gap, c[0].name)
-        task, j, _ct, _s = max(candidates, key=key)
+            return (-gap, c[0].name)
+        task, j, _ct, _s = min(candidates, key=key)
         return task, j
     return _Builder(workflow, matrix, nws).run(select, "sufferage")
 
 
 def random_schedule(workflow: Workflow, matrix: RankMatrix,
                     nws: NetworkWeatherService,
-                    rng: np.random.Generator) -> Schedule:
+                    rng: Optional[np.random.Generator] = None) -> Schedule:
     """Baseline: each ready task goes to a uniformly random eligible
-    resource (what scheduling without models degenerates to)."""
+    resource (what scheduling without models degenerates to).
+
+    ``rng`` defaults to a fixed seed so the registry entry (called with
+    the common 3-argument signature) stays deterministic across runs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
     builder = _Builder(workflow, matrix, nws)
     builder.schedule.heuristic = "random"
     total = len(matrix.tasks)
@@ -312,11 +326,13 @@ def heft_schedule(workflow: Workflow, matrix: RankMatrix,
     return builder.run(select, "heft")
 
 
-#: name -> heuristic callable, for sweeps and benchmarks
+#: name -> heuristic callable, for sweeps and benchmarks.  Every entry
+#: (baselines included) accepts the (workflow, matrix, nws) signature.
 HEURISTICS = {
     "min-min": min_min,
     "max-min": max_min,
     "sufferage": sufferage,
+    "random": random_schedule,
     "fifo": fifo_schedule,
     "heft": heft_schedule,
 }

@@ -17,6 +17,7 @@ from .kernel import Simulator, StopSimulation
 from .process import Interrupt, Process
 from .resources import Semaphore, Store
 from .rng import RngRegistry
+from .stats import KernelStats, format_stats
 
 __all__ = [
     "AllOf",
@@ -24,6 +25,7 @@ __all__ = [
     "Event",
     "EventAlreadyTriggered",
     "Interrupt",
+    "KernelStats",
     "Process",
     "RngRegistry",
     "Semaphore",
@@ -32,4 +34,5 @@ __all__ = [
     "StopSimulation",
     "Store",
     "Timeout",
+    "format_stats",
 ]

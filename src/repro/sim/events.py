@@ -123,7 +123,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    Timeouts are the most-allocated object in a simulation (every flow
+    wake-up, sensor period and contract check creates one), so ``__init__``
+    writes its slots directly instead of chaining through
+    ``Event.__init__`` and then overwriting ``_ok``/``_value``.
+    """
 
     __slots__ = ("delay",)
 
@@ -131,10 +137,13 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.name = name
+        self.defused = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 

@@ -5,6 +5,14 @@ sequence, event)`` entries) and the clock.  All grid components — hosts,
 network flows, daemons, MPI ranks, monitors — are simulation processes
 scheduled through one Simulator instance, so a whole GrADS run is fully
 deterministic given its RNG seeds.
+
+The :meth:`Simulator.run` loop is the hottest code in the repository —
+every transfer byte and Mflop of the emulated grid is accounted for
+through it — so it keeps an inlined copy of :meth:`Simulator.step` with
+hoisted locals and batches all entries that share a timestamp (URGENT
+event-processing bookkeeping included) between ``until`` checks.
+``sim.stats`` (:class:`~repro.sim.stats.KernelStats`) counts every event
+processed so workloads can report events/sec.
 """
 
 from __future__ import annotations
@@ -12,8 +20,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .events import Event, SimulationError, Timeout
+from .events import PENDING, Event, SimulationError, Timeout
 from .process import Process
+from .stats import KernelStats
 
 __all__ = ["Simulator", "StopSimulation"]
 
@@ -30,11 +39,15 @@ class StopSimulation(Exception):
 class Simulator:
     """Discrete-event simulator with a monotonically advancing clock."""
 
+    __slots__ = ("_now", "_agenda", "_seq", "_active_process", "stats")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._agenda: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: substrate performance counters, always on (see repro.sim.stats)
+        self.stats = KernelStats()
 
     # -- clock -------------------------------------------------------------
     @property
@@ -68,7 +81,8 @@ class Simulator:
 
     def _queue_event(self, event: Event) -> None:
         """Queue an already-triggered event's callbacks to run now."""
-        self._schedule(event, 0.0, priority=URGENT)
+        self._seq += 1
+        heapq.heappush(self._agenda, (self._now, URGENT, self._seq, event))
 
     # -- execution ---------------------------------------------------------
     def step(self) -> None:
@@ -78,15 +92,16 @@ class Simulator:
         when, _prio, _seq, event = heapq.heappop(self._agenda)
         if when < self._now - 1e-12:
             raise SimulationError("agenda entry in the past (kernel bug)")
-        self._now = max(self._now, when)
+        if when > self._now:
+            self._now = when
+        self.stats.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
                 callback(event)
-        if event.triggered and not event.ok and not event.defused:
+        if event._value is not PENDING and not event._ok and not event.defused:
             # A failure that no waiter handled would otherwise vanish;
             # surface it so broken processes abort the run loudly.
-            from .process import Process
             if isinstance(event, Process):
                 raise event.value
 
@@ -107,17 +122,47 @@ class Simulator:
             if stop_event.sim is not self:
                 raise SimulationError("stop_event belongs to another simulator")
             stop_event.add_callback(self._stop_callback)
+        agenda = self._agenda
+        pop = heapq.heappop
+        stats = self.stats
         try:
-            while self._agenda:
-                if until is not None and self.peek() > until:
+            while agenda:
+                head = agenda[0][0]
+                if until is not None and head > until:
                     self._now = until
                     return None
-                self.step()
+                # Batch every entry sharing this timestamp — same-time
+                # URGENT callbacks (event bookkeeping) and timeouts run
+                # back-to-back without re-checking `until`.  Callbacks
+                # can only append entries at >= the current time, so the
+                # heap head never moves before `head` mid-batch.
+                while agenda and agenda[0][0] == head:
+                    when, _prio, _seq, event = pop(agenda)
+                    if when > self._now:
+                        self._now = when
+                    stats.events_processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if (event._value is not PENDING and not event._ok
+                            and not event.defused):
+                        if isinstance(event, Process):
+                            raise event.value
         except StopSimulation:
             assert stop_event is not None
             if not stop_event.ok:
                 raise stop_event.value
             return stop_event.value
+        finally:
+            # Detach on every exit path: a lingering _stop_callback would
+            # let the event raise StopSimulation into a later run() that
+            # passed no stop_event (and trip its `assert stop_event`).
+            if stop_event is not None and stop_event.callbacks is not None:
+                try:
+                    stop_event.callbacks.remove(self._stop_callback)
+                except ValueError:
+                    pass
         if until is not None and until > self._now:
             self._now = until
         return None

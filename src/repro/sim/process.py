@@ -45,10 +45,14 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "proc"))
         self._generator = generator
         self._waiting_on: Event | None = None
-        # Kick off at the current time via an immediately-successful event.
-        bootstrap = Event(sim, name=f"{self.name}:start")
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick off at the current time via an immediately-successful
+        # event.  Built by hand (no succeed(), no per-process f-string
+        # name): spawning is on the hot path of fan-out workloads.
+        bootstrap = Event(sim, name="start")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._queue_event(bootstrap)
 
     @property
     def is_alive(self) -> bool:

@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Simulator
-from repro.microgrid import Architecture, Host, NetworkError, Topology
+from repro.microgrid import (
+    Architecture,
+    Host,
+    NetworkError,
+    Topology,
+    reference_max_min,
+)
 
 
 def two_hosts(sim, bw=1e6, lat=0.01):
@@ -209,6 +215,80 @@ def test_link_validation():
         topo.add_link("a", "b", bandwidth=1.0, latency=-0.1)
 
 
+def test_add_link_mid_run_reallocates_existing_flows():
+    """Regression: upgrading a link's bandwidth while a flow is in
+    flight must take effect immediately, not at the next flow event."""
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "a", arch))
+    topo.attach_host(Host(sim, "b", arch))
+    topo.add_link("a", "b", bandwidth=1e6, latency=0.0)
+    ev = topo.transfer("a", "b", 4e6)
+    # At t=1: 1 MB moved; quadruple the capacity -> 3 MB left at 4 MB/s.
+    sim.call_at(1.0, lambda: topo.add_link("a", "b", bandwidth=4e6,
+                                           latency=0.0))
+    sim.run()
+    assert ev.value == pytest.approx(1.75, rel=1e-6)
+
+
+def test_add_link_mid_run_downgrade_slows_existing_flows():
+    sim = Simulator()
+    topo = Topology(sim)
+    arch = Architecture(name="t", mflops=1.0)
+    topo.attach_host(Host(sim, "a", arch))
+    topo.attach_host(Host(sim, "b", arch))
+    topo.add_link("a", "b", bandwidth=2e6, latency=0.0)
+    ev = topo.transfer("a", "b", 4e6)
+    # At t=1: 2 MB moved; halve the capacity -> 2 MB left at 1 MB/s.
+    sim.call_at(1.0, lambda: topo.add_link("a", "b", bandwidth=1e6,
+                                           latency=0.0))
+    sim.run()
+    assert ev.value == pytest.approx(3.0, rel=1e-6)
+
+
+def test_add_node_mid_run_keeps_flows_consistent():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, bw=1e6, lat=0.0)
+    ev = topo.transfer("a", "b", 2e6)
+    sim.call_at(1.0, lambda: topo.add_node("router99"))
+    sim.run()
+    assert ev.value == pytest.approx(2.0, rel=1e-6)
+    assert topo.bytes_delivered == pytest.approx(2e6, rel=1e-6)
+
+
+def test_route_cache_counters():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim)
+    assert sim.stats.route_cache_misses == 0
+    topo.path_latency("a", "b")
+    assert sim.stats.route_cache_misses == 1
+    hits_before = sim.stats.route_cache_hits
+    topo.path_latency("a", "b")
+    topo.estimate_transfer_seconds("a", "b", 1e6)
+    assert sim.stats.route_cache_misses == 1  # served from cache
+    assert sim.stats.route_cache_hits > hits_before
+
+
+def test_route_cache_invalidated_by_topology_change_counters():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim)
+    topo.path_latency("a", "b")
+    topo.add_link("a", "b", bandwidth=5e6, latency=0.001)
+    topo.path_latency("a", "b")
+    assert sim.stats.route_cache_misses == 2
+
+
+def test_reallocation_counter_increments_per_flow_event():
+    sim = Simulator()
+    topo, a, b = two_hosts(sim, lat=0.0)
+    topo.transfer("a", "b", 1e6)
+    topo.transfer("a", "b", 1e6)
+    sim.run()
+    # two arrivals + one departure wake (both finish together)
+    assert sim.stats.reallocations == 3
+
+
 @settings(max_examples=25, deadline=None)
 @given(sizes=st.lists(st.floats(min_value=1e3, max_value=1e7),
                       min_size=1, max_size=6))
@@ -236,3 +316,110 @@ def test_property_equal_flows_finish_together(n):
     finish = {round(ev.value, 6) for ev in events}
     assert len(finish) == 1
     assert events[0].value == pytest.approx(n * 1.0, rel=1e-6)
+
+
+# -- incremental vs reference allocator equivalence --------------------------
+
+_random_scenarios = st.fixed_dictionaries({
+    "n_nodes": st.integers(min_value=3, max_value=7),
+    "parents": st.lists(st.integers(min_value=0, max_value=5),
+                        min_size=6, max_size=6),
+    "extra_edges": st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        min_size=0, max_size=4),
+    "bandwidths": st.lists(
+        st.sampled_from([1e5, 5e5, 1e6, 2e6, 1e7]),
+        min_size=10, max_size=10),
+    "latencies": st.lists(st.sampled_from([0.0, 0.001, 0.01]),
+                          min_size=10, max_size=10),
+    "flows": st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6),
+                  st.floats(min_value=1e3, max_value=5e6),
+                  st.sampled_from([0.0, 0.1, 0.5, 1.0, 2.0])),
+        min_size=1, max_size=10),
+})
+
+
+def _build_scenario(sim, scenario, allocator):
+    """One random connected topology + timed flow set, per allocator."""
+    n = scenario["n_nodes"]
+    topo = Topology(sim, allocator=allocator)
+    arch = Architecture(name="t", mflops=1.0)
+    for i in range(n):
+        topo.attach_host(Host(sim, f"n{i}", arch))
+    edges = []
+    # Spanning tree first (node i hangs off an earlier node), so every
+    # flow is routable; extra edges then add shortcuts/parallel paths.
+    for i in range(1, n):
+        edges.append((i, scenario["parents"][i - 1] % i))
+    for a, b in scenario["extra_edges"]:
+        a, b = a % n, b % n
+        if a != b:
+            edges.append((a, b))
+    for k, (a, b) in enumerate(edges):
+        topo.add_link(f"n{a}", f"n{b}",
+                      bandwidth=scenario["bandwidths"][k % 10],
+                      latency=scenario["latencies"][k % 10])
+    events = []
+    for src, dst, nbytes, start in scenario["flows"]:
+        src, dst = src % n, dst % n
+        if src == dst:
+            dst = (dst + 1) % n
+        sim.call_at(start, lambda s=src, d=dst, b=nbytes:
+                    events.append(topo.transfer(f"n{s}", f"n{d}", b)))
+    return topo, events
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=_random_scenarios)
+def test_property_incremental_allocator_matches_reference(scenario):
+    """The component-scoped incremental allocator and the from-scratch
+    reference progressive-filling allocator drive identical simulations:
+    same in-flight rates at probe times, same completion times, same
+    bytes delivered."""
+    runs = {}
+    for allocator in ("incremental", "reference"):
+        sim = Simulator()
+        topo, events = _build_scenario(sim, scenario, allocator)
+        probes = []
+        for t in (0.25, 0.75, 1.5, 3.0):
+            sim.call_at(t, lambda topo=topo, probes=probes:
+                        probes.append(sorted(f.allocation
+                                             for f in topo._flows)))
+        sim.run()
+        assert all(ev.triggered for ev in events)
+        runs[allocator] = {
+            "values": [ev.value for ev in events],
+            "probes": probes,
+            "bytes": topo.bytes_delivered,
+            "finished": sim.now,
+        }
+    incr, ref = runs["incremental"], runs["reference"]
+    assert incr["values"] == pytest.approx(ref["values"], rel=1e-9)
+    assert incr["bytes"] == pytest.approx(ref["bytes"], rel=1e-9)
+    assert incr["finished"] == pytest.approx(ref["finished"], rel=1e-9)
+    for pi, pr in zip(incr["probes"], ref["probes"]):
+        assert pi == pytest.approx(pr, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=_random_scenarios)
+def test_property_live_allocations_match_pure_reference(scenario):
+    """Mid-run, the incremental topology's rates equal what the pure
+    reference allocator computes for the same flow set and capacities —
+    the direct oracle check for the interned-edge bookkeeping."""
+    sim = Simulator()
+    topo, _events = _build_scenario(sim, scenario, "incremental")
+
+    def check():
+        if not topo._flows:
+            return
+        expected = reference_max_min(
+            [f.edge_ids for f in topo._flows],
+            dict(enumerate(topo._edge_cap)))
+        actual = [f.allocation for f in topo._flows]
+        assert actual == pytest.approx(expected, rel=1e-9)
+
+    for t in (0.05, 0.3, 0.8, 1.2, 2.5):
+        sim.call_at(t, check)
+    sim.run()

@@ -220,6 +220,75 @@ class TestHeuristics:
         assert {k: v.resource for k, v in s1.placements.items()} == \
                {k: v.resource for k, v in s2.placements.items()}
 
+    def test_random_baseline_registered(self):
+        """Regression: sweeps iterating HEURISTICS silently skipped the
+        documented random baseline because it was missing from the
+        registry."""
+        assert "random" in HEURISTICS
+        assert HEURISTICS["random"] is random_schedule
+
+    def test_random_registry_entry_is_deterministic(self):
+        """The registry call signature (no rng) must still be stable."""
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=5)
+        matrix = build_rank_matrix(wf, gis, nws)
+        s1 = HEURISTICS["random"](wf, matrix, nws)
+        s2 = HEURISTICS["random"](wf, matrix, nws)
+        assert {k: v.resource for k, v in s1.placements.items()} == \
+               {k: v.resource for k, v in s2.placements.items()}
+        assert s1.heuristic == "random"
+
+    def test_every_registry_entry_runs_with_common_signature(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=3)
+        matrix = build_rank_matrix(wf, gis, nws)
+        for name, heuristic in HEURISTICS.items():
+            schedule = heuristic(wf, matrix, nws)
+            assert len(schedule.placements) == 5, name
+
+
+class TestTieBreakDirection:
+    """max-min and sufferage must break score ties toward the smallest
+    task name, the same direction as min-min (regression: they used the
+    largest, so schedules flipped under task renaming)."""
+
+    @staticmethod
+    def _tied_bag():
+        wf = Workflow("bag")
+        wf.add_component(comp("aaa", mflop_total=1000.0))
+        wf.add_component(comp("zzz", mflop_total=1000.0))
+        return wf
+
+    def _first_committed(self, schedule):
+        return min(schedule.placements.values(),
+                   key=lambda p: (p.est_finish, p.task.name)).task.name
+
+    def test_max_min_prefers_smallest_name_on_tie(self):
+        sim, grid, gis, nws = env()
+        wf = self._tied_bag()
+        matrix = build_rank_matrix(wf, gis, nws)
+        schedule = max_min(wf, matrix, nws)
+        # Identical tasks: the first commit (earliest finish on the best
+        # resource) must be the lexicographically smallest name.
+        assert self._first_committed(schedule) == "aaa[0]"
+
+    def test_sufferage_prefers_smallest_name_on_tie(self):
+        sim, grid, gis, nws = env()
+        wf = self._tied_bag()
+        matrix = build_rank_matrix(wf, gis, nws)
+        schedule = sufferage(wf, matrix, nws)
+        assert self._first_committed(schedule) == "aaa[0]"
+
+    def test_min_min_agrees_with_max_min_on_identical_tasks(self):
+        sim, grid, gis, nws = env()
+        wf = self._tied_bag()
+        matrix = build_rank_matrix(wf, gis, nws)
+        a = {k: v.resource for k, v in min_min(wf, matrix, nws)
+             .placements.items()}
+        b = {k: v.resource for k, v in max_min(wf, matrix, nws)
+             .placements.items()}
+        assert a == b
+
 
 class TestGradsScheduler:
     def test_picks_min_makespan_of_three(self):

@@ -314,6 +314,66 @@ def test_stop_event_ends_run_with_value():
     assert sim.now == 3.0
 
 
+def test_stop_event_detached_when_until_exits_first():
+    """Regression: run(until=...) must remove _stop_callback on exit.
+
+    A lingering callback made a later trigger of the old stop event
+    raise StopSimulation into a run() that passed no stop_event,
+    crashing on its `assert stop_event is not None`.
+    """
+    sim = Simulator()
+    stop = sim.event()
+    sim.timeout(100.0)
+    sim.run(until=1.0, stop_event=stop)  # exits via the until path
+    stop.succeed("late")
+    sim.timeout(5.0)
+    sim.run()  # must not raise; drains the leftover t=100 timeout too
+    assert sim.now == 100.0
+
+
+def test_stop_event_detached_when_agenda_drains():
+    sim = Simulator()
+    stop = sim.event()
+    sim.timeout(1.0)
+    sim.run(stop_event=stop)  # exits because the agenda drained
+    stop.succeed("late")
+    sim.timeout(2.0)
+    sim.run()  # must not raise
+    assert stop.value == "late"
+
+
+def test_stop_event_reusable_across_runs_until():
+    """The same stop event can arm consecutive bounded runs."""
+    sim = Simulator()
+    stop = sim.event()
+    sim.timeout(100.0)
+    sim.run(until=1.0, stop_event=stop)
+    sim.run(until=2.0, stop_event=stop)
+    sim.call_after(0.5, lambda: stop.succeed("now"))
+    assert sim.run(stop_event=stop) == "now"
+    assert sim.now == 2.5
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.timeout(float(i))
+    sim.run()
+    assert sim.stats.events_processed == 5
+
+
+def test_same_time_batch_preserves_until_semantics():
+    """Events exactly at `until` still run; later ones do not."""
+    sim = Simulator()
+    hits = []
+    for _ in range(3):
+        sim.call_after(1.0, lambda: hits.append(sim.now))
+    sim.call_after(1.5, lambda: hits.append(sim.now))
+    sim.run(until=1.0)
+    assert hits == [1.0, 1.0, 1.0]
+    assert sim.now == 1.0
+
+
 def test_call_at_schedules_absolute_time():
     sim = Simulator()
     hits = []

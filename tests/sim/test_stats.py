@@ -1,0 +1,58 @@
+"""Tests for the substrate perf counters (repro.sim.stats)."""
+
+from repro.sim import KernelStats, Simulator, format_stats
+
+
+def test_counters_start_at_zero():
+    stats = KernelStats()
+    assert stats.events_processed == 0
+    assert stats.reallocations == 0
+    assert stats.wakeups_cancelled == 0
+    assert stats.route_cache_hits == 0
+    assert stats.route_cache_misses == 0
+
+
+def test_hit_rate_idle_is_one():
+    assert KernelStats().route_cache_hit_rate == 1.0
+
+
+def test_hit_rate_fraction():
+    stats = KernelStats()
+    stats.route_cache_hits = 3
+    stats.route_cache_misses = 1
+    assert stats.route_cache_hit_rate == 0.75
+
+
+def test_reset_zeroes_everything():
+    stats = KernelStats()
+    stats.events_processed = 10
+    stats.reallocations = 4
+    stats.reset()
+    assert stats.events_processed == 0
+    assert stats.reallocations == 0
+
+
+def test_snapshot_is_plain_dict():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run()
+    snap = sim.stats.snapshot()
+    assert snap["events_processed"] == 1
+    assert snap["route_cache_hit_rate"] == 1.0
+
+
+def test_format_stats_includes_rate_when_timed():
+    stats = KernelStats()
+    stats.events_processed = 1000
+    text = format_stats(stats, elapsed_wall=0.5)
+    assert "events/sec" in text
+    assert "2,000" in text
+    assert "events/sec" not in format_stats(stats)
+
+
+def test_every_simulator_owns_independent_stats():
+    a, b = Simulator(), Simulator()
+    a.timeout(1.0)
+    a.run()
+    assert a.stats.events_processed == 1
+    assert b.stats.events_processed == 0
