@@ -1,0 +1,91 @@
+"""Benchmark: the tracing subsystem's overhead contract.
+
+The tracer's design promise (see ``repro.trace.tracer``) is that
+instrumentation is effectively free when tracing is off: every hook
+site guards on ``sim.trace is not None`` (hoisted to a local boolean in
+the kernel's hot loop), so an untraced run pays one attribute load per
+site.  This benchmark enforces the acceptance bound — a run with a
+disabled tracer attached must stay within a few percent of a run with
+no tracer at all — and records the cost of *enabled* tracing for
+context (informational, no bound: collecting a million-record timeline
+is allowed to cost real time).
+
+Wall-clock noise is handled the standard way: min-of-N, identical
+workloads, and a simulation outcome cross-check proving the compared
+runs did exactly the same work.
+"""
+
+import pytest
+
+from repro.experiments.substrate import run_substrate_bench
+from repro.trace import Tracer
+
+TRANSFERS = 1500
+ROUNDS = 5
+#: acceptance bound: disabled tracing within 5% of the untraced baseline
+MAX_DISABLED_OVERHEAD = 1.05
+
+_FACTORIES = {
+    "baseline": lambda: None,
+    "disabled": lambda: Tracer(enabled=False),
+    "enabled": lambda: Tracer(categories=["kernel", "network"]),
+}
+
+
+@pytest.fixture(scope="module")
+def timings():
+    """Min-of-N wall seconds and last stats per variant.
+
+    The variants are interleaved round-robin (A B C A B C ...) rather
+    than measured in back-to-back blocks, so slow drift in machine load
+    lands on all of them equally instead of biasing whichever block ran
+    during the noisy stretch.
+    """
+    best = {name: float("inf") for name in _FACTORIES}
+    stats = {}
+    run_substrate_bench(total_transfers=TRANSFERS)  # warm-up, untimed
+    for _ in range(ROUNDS):
+        for name, factory in _FACTORIES.items():
+            result = run_substrate_bench(total_transfers=TRANSFERS,
+                                         tracer=factory())
+            best[name] = min(best[name], result["wall_seconds"])
+            stats[name] = result
+    return {name: (best[name], stats[name]) for name in _FACTORIES}
+
+
+class TestDisabledOverhead:
+    def test_same_simulation_with_and_without_tracer(self, timings):
+        _, base_stats = timings["baseline"]
+        _, off_stats = timings["disabled"]
+        assert off_stats["events_processed"] == base_stats["events_processed"]
+        assert off_stats["sim_seconds"] == \
+            pytest.approx(base_stats["sim_seconds"], rel=1e-12)
+        assert off_stats["bytes_delivered"] == \
+            pytest.approx(base_stats["bytes_delivered"], rel=1e-12)
+
+    def test_disabled_tracer_within_overhead_bound(self, timings):
+        baseline, _ = timings["baseline"]
+        disabled, _ = timings["disabled"]
+        ratio = disabled / baseline
+        print(f"\nbaseline {baseline:.3f}s, disabled-tracer {disabled:.3f}s "
+              f"-> {ratio:.3f}x (bound {MAX_DISABLED_OVERHEAD}x)")
+        assert ratio <= MAX_DISABLED_OVERHEAD
+
+    def test_enabled_tracing_reported(self, timings):
+        baseline, _ = timings["baseline"]
+        enabled, on_stats = timings["enabled"]
+        # Informational: enabled tracing may legitimately cost time, but
+        # it must not change the simulation itself.
+        _, base_stats = timings["baseline"]
+        assert on_stats["events_processed"] == base_stats["events_processed"]
+        print(f"\nenabled kernel+network tracing: {enabled:.3f}s "
+              f"({enabled / baseline:.2f}x baseline)")
+
+
+def test_bench_trace_overhead(benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_substrate_bench(total_transfers=TRANSFERS,
+                                    tracer=Tracer(enabled=False)),
+        rounds=1, iterations=1)
+    benchmark.extra_info["events_per_sec"] = round(stats["events_per_sec"])
+    assert stats["transfers_completed"] == TRANSFERS

@@ -21,6 +21,7 @@ Subpackages
 ``repro.apps``         ScaLAPACK QR, N-body, EMAN refinement workflow
 ``repro.appmanager``   the wired-up GrADS execution environment
 ``repro.experiments``  drivers regenerating the paper's figures
+``repro.trace``        structured tracing, export, analysis, determinism diff
 =====================  ====================================================
 
 Quickstart: see ``examples/quickstart.py`` and the README.
@@ -42,6 +43,7 @@ from . import (
     rescheduling,
     scheduler,
     sim,
+    trace,
 )
 from .sim import Simulator
 
@@ -65,4 +67,5 @@ __all__ = [
     "rescheduling",
     "scheduler",
     "sim",
+    "trace",
 ]

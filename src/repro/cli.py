@@ -3,19 +3,31 @@
 ::
 
     python -m repro fig3  --sizes 6000,8000,10000
-    python -m repro fig4  --policy gang --stats
+    python -m repro fig4  --policy gang --stats --trace fig4.trace.json
     python -m repro eman
     python -m repro opportunistic
     python -m repro describe path/to/grid.dml
     python -m repro bench --compare
+    python -m repro trace diff a.trace.json b.trace.json
+
+Every experiment subcommand accepts ``--trace PATH`` to export the
+run's event timeline as Chrome trace-event JSON (load it in Perfetto
+or ``chrome://tracing``).  ``repro trace`` inspects such files:
+``validate`` checks the schema, ``summary`` prints per-host
+utilization and the violation timeline, ``diff`` pinpoints the first
+divergent event between two traces (exit 1 when they diverge).
+
+Exit codes: 0 success, 1 experiment/trace failure, 2 bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from . import __version__
 from .experiments.eman_demo import run_eman_demo
 from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
 from .experiments.fig4_swap import run_fig4
@@ -25,14 +37,31 @@ from .experiments.common import format_table
 from .microgrid.dml import parse_grid
 from .rescheduling.swapping import SWAP_POLICIES
 from .sim.kernel import Simulator
+from .trace import (
+    Tracer,
+    diff_files,
+    format_divergence,
+    load_trace_file,
+    summarize,
+    validate_chrome,
+    write_chrome,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export the run's event timeline as Chrome trace-event JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GrADS scheduling/rescheduling reproduction (IPPS 2004)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig3 = sub.add_parser("fig3", help="Figure 3: QR stop/restart sweep")
@@ -41,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--nb", type=int, default=200, help="panel width")
     fig3.add_argument("--no-decisions", action="store_true",
                       help="skip the default-mode decision replay")
+    _add_trace_option(fig3)
 
     fig4 = sub.add_parser("fig4", help="Figure 4: N-body process swapping")
     fig4.add_argument("--policy", default="gang",
@@ -48,13 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--iterations", type=int, default=120)
     fig4.add_argument("--stats", action="store_true",
                       help="print kernel/substrate perf counters after the run")
+    fig4.add_argument("--json", action="store_true",
+                      help="emit the result (progress, swaps, counters) "
+                           "as JSON on stdout")
+    _add_trace_option(fig4)
 
-    sub.add_parser("eman", help="Section 3.3: EMAN workflow demo")
+    eman = sub.add_parser("eman", help="Section 3.3: EMAN workflow demo")
+    _add_trace_option(eman)
 
     opp = sub.add_parser("opportunistic",
                          help="Section 4.1.1: opportunistic rescheduling")
     opp.add_argument("--disable", action="store_true",
                      help="run the baseline without the daemon")
+    _add_trace_option(opp)
 
     describe = sub.add_parser("describe",
                               help="validate and summarize a DML topology")
@@ -68,7 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["incremental", "reference"])
     bench.add_argument("--compare", action="store_true",
                        help="run both allocators and report the speedup")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the KernelStats counters as JSON on stdout")
+
+    trace = sub.add_parser("trace", help="inspect exported trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tdiff = trace_sub.add_parser(
+        "diff", help="first divergent event between two traces "
+                     "(exit 1 if they diverge)")
+    tdiff.add_argument("a", help="first trace (Chrome JSON or JSONL)")
+    tdiff.add_argument("b", help="second trace")
+
+    tsummary = trace_sub.add_parser(
+        "summary", help="per-host utilization, violations, critical path")
+    tsummary.add_argument("path", help="trace file (Chrome JSON or JSONL)")
+
+    tvalidate = trace_sub.add_parser(
+        "validate", help="check a file against the Chrome trace-event schema")
+    tvalidate.add_argument("path", help="Chrome trace-event JSON file")
     return parser
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    return Tracer() if getattr(args, "trace", None) else None
+
+
+def _export(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    if tracer is not None:
+        write_chrome(tracer, args.trace)
+        print(f"trace: {len(tracer)} events -> {args.trace}", file=sys.stderr)
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
@@ -80,8 +145,10 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     if not sizes:
         print("need at least one size", file=sys.stderr)
         return 2
+    tracer = _make_tracer(args)
     result = run_fig3(sizes=sizes, nb=args.nb,
-                      with_decisions=not args.no_decisions)
+                      with_decisions=not args.no_decisions, tracer=tracer)
+    _export(tracer, args)
     print(result.to_table())
     if not args.no_decisions:
         print()
@@ -91,10 +158,26 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
     if args.policy == "none":
-        result = run_fig4(n_iterations=args.iterations, with_swapping=False)
+        result = run_fig4(n_iterations=args.iterations, with_swapping=False,
+                          tracer=tracer)
     else:
-        result = run_fig4(n_iterations=args.iterations, policy=args.policy)
+        result = run_fig4(n_iterations=args.iterations, policy=args.policy,
+                          tracer=tracer)
+    _export(tracer, args)
+    if args.json:
+        payload = {
+            "policy": result.policy,
+            "finished_at": result.finished_at,
+            "swap_times": result.swap_times,
+            "swapped_to": result.swapped_to,
+            "iterations": (result.progress[-1].iteration
+                           if result.progress else 0),
+            "stats": result.stats,
+        }
+        print(json.dumps(payload, sort_keys=True))
+        return 0
     print(result.to_series())
     print(f"\nswaps: {[round(t, 1) for t in result.swap_times]} "
           f"-> {result.swapped_to}")
@@ -110,8 +193,10 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_eman(_args: argparse.Namespace) -> int:
-    result = run_eman_demo()
+def _cmd_eman(args: argparse.Namespace) -> int:
+    tracer = _make_tracer(args)
+    result = run_eman_demo(tracer=tracer)
+    _export(tracer, args)
     print(result.to_table())
     print(f"\nexecuted {result.chosen_heuristic}: "
           f"{result.measured_makespan:.1f} s on {result.resources_used} "
@@ -120,7 +205,9 @@ def _cmd_eman(_args: argparse.Namespace) -> int:
 
 
 def _cmd_opportunistic(args: argparse.Namespace) -> int:
-    result = run_opportunistic(enable=not args.disable)
+    tracer = _make_tracer(args)
+    result = run_opportunistic(enable=not args.disable, tracer=tracer)
+    _export(tracer, args)
     print(format_table(
         ["A done (s)", "B done (s)", "B migrations", "B final cluster"],
         [[result.a_finished_at, result.b_finished_at,
@@ -168,6 +255,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     results = [run_substrate_bench(total_transfers=args.transfers,
                                    allocator=alloc)
                for alloc in allocators]
+    if args.json:
+        payload = results[0] if len(results) == 1 else results
+        print(json.dumps(payload, sort_keys=True))
+        return 0
     print(format_table(
         ["allocator", "wall (s)", "events/sec", "events", "reallocs",
          "stale wakeups", "route hit rate"],
@@ -180,6 +271,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "diff":
+        divergence = diff_files(args.a, args.b)
+        if divergence is None:
+            print("traces are identical")
+            return 0
+        print(format_divergence(divergence, label_a=args.a, label_b=args.b))
+        return 1
+    if args.trace_command == "summary":
+        print(summarize(load_trace_file(args.path)))
+        return 0
+    if args.trace_command == "validate":
+        with open(args.path) as handle:
+            obj = json.load(handle)
+        problems = validate_chrome(obj)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        n_events = len(obj["traceEvents"])
+        print(f"{args.path}: valid Chrome trace ({n_events} events)")
+        return 0
+    raise ValueError(f"unknown trace command {args.trace_command!r}")
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -187,9 +303,17 @@ _COMMANDS = {
     "opportunistic": _cmd_opportunistic,
     "describe": _cmd_describe,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # noqa: BLE001 — CLI boundary
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1

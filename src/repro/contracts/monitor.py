@@ -112,6 +112,10 @@ class ContractMonitor:
             return
         ratio = self.contract.ratio(phase, measured_seconds)
         self.ratios.append(ratio)
+        trace = self.sim.trace
+        if trace is not None and "contract" in trace.active:
+            trace.instant("contract", "ratio", phase=phase, ratio=ratio,
+                          upper=self.upper, lower=self.lower)
         if ratio > self.upper:
             average = self._average()
             if average > self.upper:
@@ -135,6 +139,13 @@ class ContractMonitor:
                                    ratio=ratio, average_ratio=average,
                                    severity=severity)
         self.requests.append(request)
+        trace = self.sim.trace
+        if trace is not None and "contract" in trace.active:
+            trace.instant("contract", "violation", kind="slow", phase=phase,
+                          ratio=ratio, average_ratio=average,
+                          severity=severity)
+            trace.instant("contract", "migration-request", phase=phase,
+                          severity=severity)
         migrated = False
         if self.rescheduler is not None:
             migrated = bool(self.rescheduler(request))
@@ -151,6 +162,10 @@ class ContractMonitor:
         self.contract.record_violation(ContractViolation(
             time=self.sim.now, phase=phase, ratio=ratio,
             average_ratio=average, kind="fast"))
+        trace = self.sim.trace
+        if trace is not None and "contract" in trace.active:
+            trace.instant("contract", "violation", kind="fast", phase=phase,
+                          ratio=ratio, average_ratio=average)
         # Running faster than contract: tighten limits downward so a
         # later slowdown back to the (poor) contract level is caught.
         new_upper = max(average * self.adjust_margin, self.lower * 1.01)

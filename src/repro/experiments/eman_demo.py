@@ -61,10 +61,14 @@ def run_eman_demo(params: Optional[EmanParameters] = None,
                   classalign_tasks: int = 16,
                   seed: int = 0,
                   n_random: int = 5,
-                  execute: bool = True) -> EmanResult:
+                  execute: bool = True,
+                  tracer=None) -> EmanResult:
     """Schedule (all policies) and optionally execute the best mapping."""
     params = params if params is not None else EmanParameters()
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="eman", seed=seed)
     grid = heterogeneous_testbed(sim)
     gis = GridInformationService()
     gis.register_grid(grid)

@@ -113,11 +113,15 @@ class Fig3Result:
 
 def run_fig3_point(n: int, mode: str, nb: int = 200,
                    load_at: float = LOAD_AT_SECONDS,
-                   load_procs: int = LOAD_PROCS) -> Fig3Point:
+                   load_procs: int = LOAD_PROCS,
+                   tracer=None) -> Fig3Point:
     """Run one bar: a full GrADS lifecycle on a fresh virtual grid."""
     if mode not in ("no-reschedule", "reschedule"):
         raise ValueError(f"unknown mode {mode!r}")
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="fig3", n=n, mode=mode)
     grid = fig3_testbed(sim)
     env = GradsEnvironment(sim, grid, submission_host="utk.n0")
     benchmark = QrBenchmark(n=n, nb=nb)
@@ -136,10 +140,14 @@ def run_fig3_point(n: int, mode: str, nb: int = 200,
 
 
 def _default_decision(n: int, nb: int, stay: Fig3Point, move: Fig3Point,
-                      load_at: float, load_procs: int) -> dict:
+                      load_at: float, load_procs: int,
+                      tracer=None) -> dict:
     """Replay the default-mode rescheduler and score its decision
     against the measured forced-mode outcomes."""
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="fig3", n=n, mode="default")
     grid = fig3_testbed(sim)
     env = GradsEnvironment(sim, grid, submission_host="utk.n0")
     benchmark = QrBenchmark(n=n, nb=nb)
@@ -182,16 +190,21 @@ def _default_decision(n: int, nb: int, stay: Fig3Point, move: Fig3Point,
 def run_fig3(sizes: Sequence[int] = DEFAULT_SIZES, nb: int = 200,
              load_at: float = LOAD_AT_SECONDS,
              load_procs: int = LOAD_PROCS,
-             with_decisions: bool = True) -> Fig3Result:
-    """Regenerate Figure 3 (both bars per size) plus the decision table."""
+             with_decisions: bool = True,
+             tracer=None) -> Fig3Result:
+    """Regenerate Figure 3 (both bars per size) plus the decision table.
+
+    A supplied ``tracer`` is rebound to every bar's fresh simulator, so
+    the exported trace carries one timeline (Chrome ``pid``) per run.
+    """
     result = Fig3Result()
     for n in sizes:
         stay = run_fig3_point(n, "no-reschedule", nb=nb, load_at=load_at,
-                              load_procs=load_procs)
+                              load_procs=load_procs, tracer=tracer)
         move = run_fig3_point(n, "reschedule", nb=nb, load_at=load_at,
-                              load_procs=load_procs)
+                              load_procs=load_procs, tracer=tracer)
         result.points.extend([stay, move])
         if with_decisions:
             result.decisions[n] = _default_decision(
-                n, nb, stay, move, load_at, load_procs)
+                n, nb, stay, move, load_at, load_procs, tracer=tracer)
     return result

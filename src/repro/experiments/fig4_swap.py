@@ -70,9 +70,18 @@ def run_fig4(n_bodies: int = 9000, n_iterations: int = 120,
              load_at: float = LOAD_AT_SECONDS,
              load_procs: int = LOAD_PROCS,
              swap_period: float = 10.0,
-             improvement: float = 1.1) -> Fig4Result:
-    """Run the Figure 4 scenario; disable swapping for the baseline."""
+             improvement: float = 1.1,
+             tracer=None) -> Fig4Result:
+    """Run the Figure 4 scenario; disable swapping for the baseline.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) records the run's event
+    timeline; the CLI's ``fig4 --trace PATH`` exports it.
+    """
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="fig4", policy=policy,
+                       iterations=n_iterations, swapping=with_swapping)
     grid = fig4_testbed(sim)
     nws = NetworkWeatherService(sim, grid, cpu_period=5.0,
                                 deploy_network_sensors=False)

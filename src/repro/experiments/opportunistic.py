@@ -77,9 +77,14 @@ def _managed_run(env: GradsEnvironment, benchmark: QrBenchmark,
 
 def run_opportunistic(n_a: int = 6000, n_b: int = 8000,
                       enable: bool = True,
-                      period: float = 60.0) -> OpportunisticResult:
+                      period: float = 60.0,
+                      tracer=None) -> OpportunisticResult:
     """Run the two-application scenario, with or without the daemon."""
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="opportunistic",
+                       enabled=enable)
     grid = asymmetric_grid(sim)
     env = GradsEnvironment(sim, grid, submission_host="fast.n0")
     rescheduler = Rescheduler(sim, env.gis, env.nws, mode="default",

@@ -90,13 +90,18 @@ def _flow_spec(slot: int, seq: int, clusters: List[List[str]]
 
 def run_substrate_bench(n_hosts: int = 32, concurrent_flows: int = 64,
                         total_transfers: int = 1500,
-                        allocator: str = "incremental") -> Dict[str, float]:
+                        allocator: str = "incremental",
+                        tracer=None) -> Dict[str, float]:
     """Run the closed-loop flow churn and report counters + events/sec.
 
     ``concurrent_flows`` transfer slots each keep one flow in flight;
     the run ends once ``total_transfers`` flows have completed in total.
+    ``tracer`` exists mainly for the tracing-overhead benchmark, which
+    attaches a disabled tracer to price the instrumentation hooks.
     """
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
     topo, clusters = build_substrate_grid(sim, n_hosts=n_hosts,
                                           allocator=allocator)
     state = {"started": 0, "completed": 0}

@@ -44,12 +44,26 @@ class RandomFailureInjector:
     Each host independently alternates up/down with exponentially
     distributed durations (MTBF / MTTR), the standard availability
     model for long-running grid studies.
+
+    ``rng`` may be a ``numpy.random.Generator``, an integer seed, or
+    ``None`` (then ``seed`` — default 0 — creates the generator), so
+    two injectors built with equal seeds produce identical failure
+    schedules.
     """
 
-    def __init__(self, hosts: Sequence[Host], rng: np.random.Generator,
-                 mtbf: float, mttr: float) -> None:
+    def __init__(self, hosts: Sequence[Host], rng=None, *,
+                 mtbf: float, mttr: float, seed: Optional[int] = None) -> None:
         if mtbf <= 0 or mttr <= 0:
             raise ValueError("MTBF and MTTR must be positive")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        elif not isinstance(rng, np.random.Generator):
+            raise TypeError(f"rng must be a Generator or seed, "
+                            f"got {type(rng).__name__}")
         self.hosts = list(hosts)
         self.rng = rng
         self.mtbf = mtbf

@@ -334,6 +334,10 @@ class Topology:
         users = self._edge_users
         for eid in flow.edge_ids:
             users[eid].append(flow)
+        trace = self.sim.trace
+        if trace is not None and "network" in trace.active:
+            trace.instant("network", "flow-add", src=flow.src, dst=flow.dst,
+                          bytes=flow.total, active=len(self._flows))
         self._reallocate(seed_edges=flow.edge_ids)
 
     def _settle(self) -> None:
@@ -360,6 +364,11 @@ class Topology:
         """
         self._epoch += 1
         self.sim.stats.reallocations += 1
+        trace = self.sim.trace
+        if trace is not None and "network" in trace.active:
+            trace.instant("network", "realloc", epoch=self._epoch,
+                          flows=len(self._flows),
+                          scoped=seed_edges is not None)
         if not self._flows:
             return
         if self.allocator == "reference":
@@ -449,8 +458,14 @@ class Topology:
         self.sim.call_after(max(horizon, 0.0), lambda: self._wake(epoch))
 
     def _wake(self, epoch: int) -> None:
+        trace = self.sim.trace
+        if trace is not None and "network" not in trace.active:
+            trace = None
         if epoch != self._epoch:
             self.sim.stats.wakeups_cancelled += 1
+            if trace is not None:
+                trace.instant("network", "stale-wakeup", epoch=epoch,
+                              current=self._epoch)
             return
         self._settle()
         # Two completion criteria: the work is relatively drained, or the
@@ -468,6 +483,10 @@ class Topology:
             for eid in flow.edge_ids:
                 self._edge_users[eid].remove(flow)
             seed.extend(flow.edge_ids)
+            if trace is not None:
+                trace.complete("network", "flow", ts=flow.started_at,
+                               dur=self.sim.now - flow.started_at,
+                               src=flow.src, dst=flow.dst, bytes=flow.total)
         self._reallocate(seed_edges=seed)
         for flow in finished:
             flow.event.succeed(self.sim.now - flow.started_at)

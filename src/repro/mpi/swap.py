@@ -129,6 +129,12 @@ class SwappableJob:
             old_host=old_host.name, new_host=new_host.name,
             state_bytes=self.state_bytes_per_rank,
             seconds=self.sim.now - started))
+        trace = self.sim.trace
+        if trace is not None and "reschedule" in trace.active:
+            trace.complete("reschedule", "swap", ts=started,
+                           dur=self.sim.now - started, rank=logical_rank,
+                           old_host=old_host.name, new_host=new_host.name,
+                           bytes=self.state_bytes_per_rank)
 
     # -- launch -------------------------------------------------------------------
     def launch(self, body: Callable[[MpiContext], object]) -> Event:

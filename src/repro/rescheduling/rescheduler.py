@@ -170,6 +170,16 @@ class Rescheduler:
             return False
         return evaluation.benefit > self.min_benefit_seconds
 
+    def _record_decision(self, record: DecisionRecord) -> None:
+        self.decisions.append(record)
+        trace = self.sim.trace
+        if trace is not None and "reschedule" in trace.active:
+            trace.instant("reschedule", "decision", app=record.app,
+                          trigger=record.trigger, migrated=record.migrated,
+                          benefit=record.evaluation.benefit,
+                          migration_cost=record.evaluation.migration_cost,
+                          new_hosts=",".join(record.evaluation.new_hosts))
+
     # -- migration on request (contract monitor callback) ------------------------
     def request_handler(self, app: MigratableApp
                         ) -> Callable[[MigrationRequest], bool]:
@@ -187,7 +197,7 @@ class Rescheduler:
         if evaluation is None:
             return False
         migrate = self._decide(evaluation)
-        self.decisions.append(DecisionRecord(
+        self._record_decision(DecisionRecord(
             time=self.sim.now, app=app.name, trigger="request",
             evaluation=evaluation, migrated=migrate))
         if migrate:
@@ -223,7 +233,7 @@ class Rescheduler:
                 if evaluation is None:
                     continue
                 migrate = self._decide(evaluation)
-                self.decisions.append(DecisionRecord(
+                self._record_decision(DecisionRecord(
                     time=self.sim.now, app=app.name,
                     trigger="opportunistic", evaluation=evaluation,
                     migrated=migrate))

@@ -140,7 +140,14 @@ class SRSLibrary:
         key = f"{dataset}:ckpt:{progress}:r{ctx.rank}"
         if depot.has(key):
             depot.delete(key)
+        t0 = self.sim.now
         yield depot.write(ctx.host.name, key, my_bytes)
+        trace = self.sim.trace
+        if trace is not None and "reschedule" in trace.active:
+            trace.complete("reschedule", "checkpoint", ts=t0,
+                           dur=self.sim.now - t0, dataset=dataset,
+                           rank=ctx.rank, progress=progress,
+                           bytes=my_bytes, host=ctx.host.name)
         pending.locations[ctx.rank] = CheckpointLocation(
             rank=ctx.rank, depot_host=target.name, key=key,
             nbytes=my_bytes)
@@ -168,6 +175,13 @@ class SRSLibrary:
                 raise KeyError(f"depot on {location.depot_host} vanished")
             reads.append(depot.read_partial(ctx.host.name, location.key,
                                             min(nbytes, location.nbytes)))
+        t0 = self.sim.now
         if reads:
             yield AllOf(self.sim, reads)
+        trace = self.sim.trace
+        if trace is not None and "reschedule" in trace.active:
+            trace.complete("reschedule", "restore", ts=t0,
+                           dur=self.sim.now - t0, dataset=dataset,
+                           rank=ctx.rank, progress=record.progress,
+                           bytes=sum(need.values()), host=ctx.host.name)
         return record.progress

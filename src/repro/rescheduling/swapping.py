@@ -199,6 +199,9 @@ class SwapRescheduler:
         speed_of = {name: s for name, s in inactive}
         active_speed = {rank: s for rank, _n, s in active}
         active_name = {rank: n for rank, n, _s in active}
+        trace = self.sim.trace
+        if trace is not None and "reschedule" not in trace.active:
+            trace = None
         for rank, new_name in proposals:
             decision = SwapDecision(
                 logical_rank=rank, old_host=active_name[rank],
@@ -207,6 +210,13 @@ class SwapRescheduler:
             self.job.request_swap(rank, by_name[new_name])
             self.decisions.append(decision)
             decisions.append(decision)
+            if trace is not None:
+                trace.instant("reschedule", "swap-decision",
+                              policy=self.policy_name, rank=rank,
+                              old_host=decision.old_host,
+                              new_host=decision.new_host,
+                              old_speed=decision.old_speed,
+                              new_speed=decision.new_speed)
         return decisions
 
     # -- daemon ----------------------------------------------------------------

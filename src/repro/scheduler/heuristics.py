@@ -90,6 +90,12 @@ class _Builder:
         self.workflow = workflow
         self.matrix = matrix
         self.nws = nws
+        # The tracer rides on the simulator every heuristic already
+        # reaches through the NWS; keep it only when the scheduler
+        # category is enabled so commit() stays a plain None test.
+        trace = getattr(getattr(nws, "sim", None), "trace", None)
+        self.trace = (trace if trace is not None
+                      and "scheduler" in trace.active else None)
         self.task_index = {t.name: i for i, t in enumerate(matrix.tasks)}
         self.resource_free = {r.name: 0.0 for r in matrix.resources}
         self.finish: Dict[str, float] = {}
@@ -179,6 +185,12 @@ class _Builder:
         self.finish[task.name] = finish
         self.location[task.name] = record.name
         self._component_done[task.component.name] += 1
+        if self.trace is not None:
+            self.trace.complete(
+                "scheduler", f"task:{task.name}", ts=start,
+                dur=finish - start, host=record.name,
+                heuristic=self.schedule.heuristic,
+                rank=self.matrix.rank(i, resource_index))
 
     def run(self, select: Callable[[List[Tuple[Task, int, float, float]]],
                                    Tuple[Task, int]],
@@ -204,6 +216,10 @@ class _Builder:
                 candidates.append((task, j, ct, second))
             task, j = select(candidates)
             self.commit(task, j)
+        if self.trace is not None:
+            self.trace.instant("scheduler", f"heuristic:{name}",
+                               makespan=self.schedule.makespan,
+                               tasks=total)
         return self.schedule
 
 

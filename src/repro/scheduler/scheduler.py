@@ -59,5 +59,9 @@ class GradsWorkflowScheduler:
             schedule = heuristic(workflow, matrix, self.nws)
             candidates[schedule.heuristic] = schedule
         best = min(candidates.values(), key=lambda s: (s.makespan, s.heuristic))
+        trace = getattr(getattr(self.nws, "sim", None), "trace", None)
+        if trace is not None:
+            trace.instant("scheduler", "chosen", heuristic=best.heuristic,
+                          makespan=best.makespan)
         return SchedulingResult(best=best, candidates=candidates,
                                 matrix=matrix)

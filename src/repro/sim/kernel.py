@@ -39,7 +39,8 @@ class StopSimulation(Exception):
 class Simulator:
     """Discrete-event simulator with a monotonically advancing clock."""
 
-    __slots__ = ("_now", "_agenda", "_seq", "_active_process", "stats")
+    __slots__ = ("_now", "_agenda", "_seq", "_active_process", "stats",
+                 "trace")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
@@ -48,6 +49,10 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: substrate performance counters, always on (see repro.sim.stats)
         self.stats = KernelStats()
+        #: optional repro.trace.Tracer, attached via Tracer.bind(); None
+        #: (the default) keeps every instrumentation site on its no-op
+        #: fast path
+        self.trace = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -95,6 +100,9 @@ class Simulator:
         if when > self._now:
             self._now = when
         self.stats.events_processed += 1
+        trace = self.trace
+        if trace is not None and "kernel" in trace.active:
+            trace.kernel_event(when, event)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
@@ -125,6 +133,11 @@ class Simulator:
         agenda = self._agenda
         pop = heapq.heappop
         stats = self.stats
+        # Tracing state is hoisted: a run without a tracer (or with the
+        # kernel category filtered out) pays one local-bool test per
+        # event, nothing more.  Bind tracers before run(), not during.
+        trace = self.trace
+        trace_kernel = trace is not None and "kernel" in trace.active
         try:
             while agenda:
                 head = agenda[0][0]
@@ -141,6 +154,8 @@ class Simulator:
                     if when > self._now:
                         self._now = when
                     stats.events_processed += 1
+                    if trace_kernel:
+                        trace.kernel_event(when, event)
                     callbacks, event.callbacks = event.callbacks, None
                     if callbacks:
                         for callback in callbacks:

@@ -1,0 +1,155 @@
+"""Post-hoc analyses over trace records.
+
+Three questions a GrADS timeline answers, computed straight from the
+records (no live simulator needed, so they also run on traces loaded
+back from disk):
+
+* :func:`host_utilization` — how busy each resource was, from spans
+  that carry a ``host`` arg (the scheduler's task-commit spans do);
+* :func:`violation_timeline` — when the contract monitor fired and how
+  badly, from the ``contract`` category;
+* :func:`critical_path` — the heaviest chain of non-overlapping spans,
+  the trace-level analogue of a workflow's critical path: each link
+  starts at or after the previous one ended, and the chain maximises
+  total span duration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .export import normalize_records
+from .tracer import Tracer
+
+__all__ = ["host_utilization", "violation_timeline", "critical_path",
+           "summarize"]
+
+_EPS = 1e-12
+
+TraceLike = Union[Tracer, Iterable[Any]]
+
+
+def _spans(records: List[Dict[str, Any]],
+           category: Optional[str] = None) -> List[Dict[str, Any]]:
+    return [r for r in records if "dur" in r
+            and (category is None or r["cat"] == category)]
+
+
+def host_utilization(trace: TraceLike, category: Optional[str] = None,
+                     horizon: Optional[float] = None
+                     ) -> Dict[str, Dict[str, float]]:
+    """Busy seconds and utilization fraction per host.
+
+    Considers spans whose ``args`` include a ``host`` key (optionally
+    restricted to one category).  ``horizon`` defaults to the overall
+    extent of those spans; utilization is busy/horizon.
+    """
+    records = normalize_records(trace)
+    busy: Dict[str, float] = {}
+    t_min, t_max = float("inf"), float("-inf")
+    for span in _spans(records, category):
+        host = (span.get("args") or {}).get("host")
+        if host is None:
+            continue
+        busy[host] = busy.get(host, 0.0) + span["dur"]
+        t_min = min(t_min, span["ts"])
+        t_max = max(t_max, span["ts"] + span["dur"])
+    if not busy:
+        return {}
+    extent = horizon if horizon is not None else (t_max - t_min)
+    out = {}
+    for host in sorted(busy):
+        seconds = busy[host]
+        out[host] = {
+            "busy_seconds": seconds,
+            "utilization": seconds / extent if extent > 0 else 1.0,
+        }
+    return out
+
+
+def violation_timeline(trace: TraceLike) -> List[Dict[str, Any]]:
+    """Contract violations in time order: ts, kind, ratio, average."""
+    records = normalize_records(trace)
+    out = []
+    for record in records:
+        if record["cat"] == "contract" and record["name"] == "violation":
+            args = record.get("args") or {}
+            out.append({
+                "ts": record["ts"],
+                "kind": args.get("kind"),
+                "ratio": args.get("ratio"),
+                "average_ratio": args.get("average_ratio"),
+                "run": record.get("run", 0),
+            })
+    return out
+
+
+def critical_path(trace: TraceLike, category: Optional[str] = "scheduler"
+                  ) -> List[Dict[str, Any]]:
+    """The duration-maximising chain of non-overlapping spans.
+
+    Spans are chainable when one starts at or after the other ends
+    (within float tolerance).  Dynamic programming over spans sorted by
+    end time finds the chain with the largest total duration — for
+    scheduler task spans this is the critical path of the scheduled
+    workflow (the sequence of placements that determines the makespan).
+    """
+    records = normalize_records(trace)
+    spans = sorted(_spans(records, category),
+                   key=lambda s: (s["ts"] + s["dur"], s["ts"], s["name"]))
+    n = len(spans)
+    if n == 0:
+        return []
+    best = [0.0] * n     # best chain weight ending at span i
+    parent = [-1] * n
+    for i, span in enumerate(spans):
+        best[i] = span["dur"]
+        for j in range(i):
+            prev = spans[j]
+            if prev["ts"] + prev["dur"] <= span["ts"] + _EPS:
+                weight = best[j] + span["dur"]
+                if weight > best[i]:
+                    best[i] = weight
+                    parent[i] = j
+    tail = max(range(n), key=lambda i: (best[i], -spans[i]["ts"]))
+    chain: List[Dict[str, Any]] = []
+    while tail != -1:
+        chain.append(spans[tail])
+        tail = parent[tail]
+    chain.reverse()
+    return chain
+
+
+def summarize(trace: TraceLike) -> str:
+    """A text digest of a trace (the ``repro trace summary`` output)."""
+    records = normalize_records(trace)
+    lines: List[str] = []
+    by_cat: Dict[str, int] = {}
+    for record in records:
+        by_cat[record["cat"]] = by_cat.get(record["cat"], 0) + 1
+    lines.append(f"records: {len(records)}")
+    for cat in sorted(by_cat):
+        lines.append(f"  {cat:<10} : {by_cat[cat]}")
+    violations = violation_timeline(records)
+    lines.append(f"contract violations: {len(violations)}")
+    for v in violations[:10]:
+        lines.append(f"  t={v['ts']:.1f}s {v['kind']} "
+                     f"ratio={v['ratio']:.3f} avg={v['average_ratio']:.3f}")
+    if len(violations) > 10:
+        lines.append(f"  ... {len(violations) - 10} more")
+    utilization = host_utilization(records)
+    if utilization:
+        lines.append("host utilization (from spans with a host arg):")
+        for host, stats in utilization.items():
+            lines.append(f"  {host:<12} busy={stats['busy_seconds']:.1f}s "
+                         f"({stats['utilization']:.1%})")
+    chain = critical_path(records)
+    if chain:
+        total = sum(s["dur"] for s in chain)
+        lines.append(f"critical path: {len(chain)} spans, {total:.1f}s")
+        for span in chain[:10]:
+            lines.append(f"  {span['name']} @ t={span['ts']:.1f}s "
+                         f"+{span['dur']:.1f}s")
+        if len(chain) > 10:
+            lines.append(f"  ... {len(chain) - 10} more")
+    return "\n".join(lines)

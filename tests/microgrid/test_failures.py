@@ -140,3 +140,38 @@ class TestRandomFailureInjector:
         with pytest.raises(ValueError):
             RandomFailureInjector(grid.clusters["utk"].hosts, rng,
                                   mtbf=0.0, mttr=1.0)
+
+    def _schedule(self, rng=None, seed=None):
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        injector = RandomFailureInjector(grid.clusters["uiuc"].hosts,
+                                         rng=rng, seed=seed,
+                                         mtbf=50.0, mttr=10.0)
+        injector.install(sim)
+        sim.run(until=500.0)
+        return injector.failures
+
+    def test_equal_seeds_give_identical_schedules(self):
+        assert self._schedule(seed=11) == self._schedule(seed=11)
+        assert self._schedule(seed=11) != self._schedule(seed=12)
+
+    def test_int_rng_is_treated_as_seed(self):
+        assert self._schedule(rng=11) == self._schedule(seed=11)
+
+    def test_default_seed_is_deterministic(self):
+        assert self._schedule() == self._schedule(seed=0)
+
+    def test_rng_and_seed_together_rejected(self):
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        rng = RngRegistry(seed=5).stream("x")
+        with pytest.raises(ValueError, match="not both"):
+            RandomFailureInjector(grid.clusters["utk"].hosts, rng, seed=3,
+                                  mtbf=1.0, mttr=1.0)
+
+    def test_bad_rng_type_rejected(self):
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        with pytest.raises(TypeError):
+            RandomFailureInjector(grid.clusters["utk"].hosts, "rng",
+                                  mtbf=1.0, mttr=1.0)

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -20,6 +23,21 @@ class TestParser:
         assert args.policy == "single"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--policy", "bogus"])
+
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_experiments_accept_trace_option(self):
+        for command in ("fig3", "fig4", "eman", "opportunistic"):
+            args = build_parser().parse_args([command, "--trace", "t.json"])
+            assert args.trace == "t.json"
+
+    def test_trace_group_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
 
 
 class TestCommands:
@@ -59,3 +77,73 @@ class TestCommands:
 
     def test_describe_missing_file(self, capsys):
         assert main(["describe", "/nonexistent/grid.dml"]) == 2
+
+    def test_bench_json(self, capsys):
+        rc = main(["bench", "--transfers", "60", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["allocator"] == "incremental"
+        assert payload["transfers_completed"] == 60
+        assert payload["events_processed"] > 0
+
+    def test_fig4_json(self, capsys):
+        rc = main(["fig4", "--policy", "none", "--iterations", "10",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "none"
+        assert payload["iterations"] == 10
+        assert payload["stats"]["events_processed"] > 0
+
+    def test_uncaught_experiment_error_exits_one(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(**kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(cli, "run_fig4", boom)
+        assert main(["fig4", "--iterations", "5"]) == 1
+        err = capsys.readouterr().err
+        assert "synthetic failure" in err
+
+
+class TestTraceCommands:
+    def _export(self, tmp_path, name, iterations=10):
+        path = tmp_path / name
+        rc = main(["fig4", "--policy", "none",
+                   "--iterations", str(iterations), "--trace", str(path)])
+        assert rc == 0
+        return path
+
+    def test_trace_export_and_validate(self, tmp_path, capsys):
+        path = self._export(tmp_path, "t.json")
+        capsys.readouterr()
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        assert main(["trace", "validate", str(bad)]) == 1
+
+    def test_same_seed_diff_is_clean(self, tmp_path, capsys):
+        a = self._export(tmp_path, "a.json")
+        b = self._export(tmp_path, "b.json")
+        assert a.read_bytes() == b.read_bytes()
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_traces_exit_one(self, tmp_path, capsys):
+        a = self._export(tmp_path, "a.json", iterations=10)
+        b = self._export(tmp_path, "b.json", iterations=12)
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "diverge" in capsys.readouterr().out
+
+    def test_summary(self, tmp_path, capsys):
+        path = self._export(tmp_path, "t.json")
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out

@@ -1,0 +1,101 @@
+"""Tests for the trace analyses on synthetic records."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.trace import (
+    Tracer,
+    critical_path,
+    host_utilization,
+    summarize,
+    violation_timeline,
+)
+
+
+def synthetic_tracer():
+    """Two hosts, three task spans, two violations.
+
+    Timeline: h0 runs [0,4] and [6,8]; h1 runs [1,6].  The heaviest
+    non-overlapping chain is [0,4] -> [6,8] (weight 6) vs [1,6] -> [6,8]
+    (weight 7) — so the critical path is task:b then task:c.
+    """
+    tracer = Tracer().bind(Simulator())
+    tracer.complete("scheduler", "task:a", ts=0.0, dur=4.0, host="h0")
+    tracer.complete("scheduler", "task:b", ts=1.0, dur=5.0, host="h1")
+    tracer.complete("scheduler", "task:c", ts=6.0, dur=2.0, host="h0")
+    tracer.instant("contract", "violation", kind="slow", ratio=2.0,
+                   average_ratio=1.5)
+    tracer.instant("contract", "ratio", ratio=1.0)
+    tracer.instant("contract", "violation", kind="fast", ratio=0.2,
+                   average_ratio=0.4)
+    return tracer
+
+
+class TestHostUtilization:
+    def test_busy_seconds_accumulate_per_host(self):
+        stats = host_utilization(synthetic_tracer())
+        assert stats["h0"]["busy_seconds"] == pytest.approx(6.0)
+        assert stats["h1"]["busy_seconds"] == pytest.approx(5.0)
+
+    def test_default_horizon_is_span_extent(self):
+        stats = host_utilization(synthetic_tracer())  # extent = 8 - 0
+        assert stats["h0"]["utilization"] == pytest.approx(6.0 / 8.0)
+
+    def test_explicit_horizon(self):
+        stats = host_utilization(synthetic_tracer(), horizon=10.0)
+        assert stats["h1"]["utilization"] == pytest.approx(0.5)
+
+    def test_no_host_spans_yields_empty(self):
+        tracer = Tracer().bind(Simulator())
+        tracer.instant("meta", "run")
+        assert host_utilization(tracer) == {}
+
+    def test_category_filter(self):
+        tracer = synthetic_tracer()
+        tracer.complete("reschedule", "checkpoint", ts=0.0, dur=100.0,
+                        host="h0")
+        scoped = host_utilization(tracer, category="scheduler")
+        assert scoped["h0"]["busy_seconds"] == pytest.approx(6.0)
+
+
+class TestViolationTimeline:
+    def test_only_violation_instants_reported_in_order(self):
+        timeline = violation_timeline(synthetic_tracer())
+        assert [v["kind"] for v in timeline] == ["slow", "fast"]
+        assert timeline[0]["ratio"] == 2.0
+        assert timeline[1]["average_ratio"] == 0.4
+
+    def test_empty_trace(self):
+        assert violation_timeline(Tracer().bind(Simulator())) == []
+
+
+class TestCriticalPath:
+    def test_picks_heaviest_non_overlapping_chain(self):
+        chain = critical_path(synthetic_tracer())
+        assert [s["name"] for s in chain] == ["task:b", "task:c"]
+        assert sum(s["dur"] for s in chain) == pytest.approx(7.0)
+
+    def test_empty_when_no_spans(self):
+        tracer = Tracer().bind(Simulator())
+        tracer.instant("meta", "run")
+        assert critical_path(tracer) == []
+
+    def test_single_span_is_its_own_path(self):
+        tracer = Tracer().bind(Simulator())
+        tracer.complete("scheduler", "task:x", ts=0.0, dur=3.0)
+        assert [s["name"] for s in critical_path(tracer)] == ["task:x"]
+
+    def test_back_to_back_spans_chain(self):
+        tracer = Tracer().bind(Simulator())
+        tracer.complete("scheduler", "a", ts=0.0, dur=2.0)
+        tracer.complete("scheduler", "b", ts=2.0, dur=2.0)  # starts at a's end
+        assert len(critical_path(tracer)) == 2
+
+
+class TestSummarize:
+    def test_mentions_counts_violations_and_path(self):
+        text = summarize(synthetic_tracer())
+        assert "records: 6" in text
+        assert "contract violations: 2" in text
+        assert "critical path: 2 spans" in text
+        assert "h0" in text

@@ -1,0 +1,114 @@
+"""End-to-end instrumentation tests: real experiments, real hooks.
+
+These run small fig3/fig4 scenarios with a tracer attached and check
+that every instrumented layer emitted records consistent with the
+experiment's own reported numbers.
+"""
+
+import pytest
+
+from repro.experiments.fig3_qr import run_fig3_point
+from repro.experiments.fig4_swap import run_fig4
+from repro.trace import Tracer, violation_timeline
+
+
+@pytest.fixture(scope="module")
+def fig3_traced():
+    tracer = Tracer()
+    point = run_fig3_point(8000, "reschedule", tracer=tracer)
+    return tracer, point
+
+
+@pytest.fixture(scope="module")
+def fig4_traced():
+    tracer = Tracer()
+    result = run_fig4(n_iterations=120, tracer=tracer)
+    return tracer, result
+
+
+class TestFig3Instrumentation:
+    def test_checkpoint_and_restore_spans_present(self, fig3_traced):
+        tracer, point = fig3_traced
+        names = [r.name for r in tracer.select("reschedule")]
+        assert "checkpoint" in names
+        assert "restore" in names
+
+    def test_restore_follows_migration(self, fig3_traced):
+        tracer, point = fig3_traced
+        assert point.migrations >= 1
+        restores = [r for r in tracer.select("reschedule")
+                    if r.name == "restore"]
+        # every migrated rank restores from the depot
+        assert len(restores) >= point.migrations
+
+    def test_violations_precede_migration_requests(self, fig3_traced):
+        tracer, _point = fig3_traced
+        contract = tracer.select("contract")
+        violations = [r for r in contract if r.name == "violation"]
+        requests = [r for r in contract if r.name == "migration-request"]
+        assert violations and requests
+        assert min(r.ts for r in violations) <= min(r.ts for r in requests)
+
+    def test_violation_timeline_matches_records(self, fig3_traced):
+        tracer, _point = fig3_traced
+        timeline = violation_timeline(tracer)
+        assert len(timeline) == len(
+            [r for r in tracer.select("contract") if r.name == "violation"])
+        assert all(v["kind"] in ("slow", "fast") for v in timeline)
+
+    def test_checkpoint_spans_have_positive_duration_and_host(self,
+                                                              fig3_traced):
+        tracer, _point = fig3_traced
+        for record in tracer.select("reschedule"):
+            if record.name == "checkpoint":
+                assert record.dur > 0
+                assert record.args["host"].startswith(("utk.", "uiuc."))
+
+    def test_network_and_kernel_layers_fire(self, fig3_traced):
+        tracer, _point = fig3_traced
+        network = {r.name for r in tracer.select("network")}
+        assert "flow-add" in network
+        assert "realloc" in network
+        assert tracer.select("kernel")
+
+    def test_meta_marker_identifies_run(self, fig3_traced):
+        tracer, _point = fig3_traced
+        (marker,) = tracer.select("meta")
+        assert marker.args["experiment"] == "fig3"
+        assert marker.args["mode"] == "reschedule"
+
+
+class TestFig4Instrumentation:
+    def test_swap_spans_match_swap_log(self, fig4_traced):
+        tracer, result = fig4_traced
+        swaps = [r for r in tracer.select("reschedule") if r.name == "swap"]
+        assert len(swaps) == len(result.swap_times)
+        assert sorted(r.args["new_host"] for r in swaps) == \
+            sorted(result.swapped_to)
+
+    def test_swap_decisions_recorded(self, fig4_traced):
+        tracer, result = fig4_traced
+        decisions = [r for r in tracer.select("reschedule")
+                     if r.name == "swap-decision"]
+        assert len(decisions) >= len(result.swap_times)
+
+    def test_trace_spans_sim_duration(self, fig4_traced):
+        tracer, result = fig4_traced
+        last = max(r.ts for r in tracer.records)
+        assert last == pytest.approx(result.finished_at)
+
+
+class TestDisabledTracerBehaviour:
+    def test_disabled_tracer_changes_nothing(self):
+        baseline = run_fig4(n_iterations=15)
+        traced = run_fig4(n_iterations=15, tracer=Tracer(enabled=False))
+        assert traced.finished_at == baseline.finished_at
+        assert traced.stats["events_processed"] == \
+            baseline.stats["events_processed"]
+
+    def test_enabled_tracer_does_not_perturb_results(self):
+        baseline = run_fig4(n_iterations=15)
+        traced = run_fig4(n_iterations=15, tracer=Tracer())
+        assert traced.finished_at == baseline.finished_at
+        assert traced.stats["events_processed"] == \
+            baseline.stats["events_processed"]
