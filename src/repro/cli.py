@@ -32,6 +32,11 @@ from .experiments.eman_demo import run_eman_demo
 from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
 from .experiments.fig4_swap import run_fig4
 from .experiments.opportunistic import run_opportunistic
+from .experiments.scheduler_bench import (
+    build_scheduler_bench_env,
+    run_scheduler_bench,
+    schedules_equal,
+)
 from .experiments.substrate import run_substrate_bench
 from .experiments.common import format_table
 from .microgrid.dml import parse_grid
@@ -97,13 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("path", help="DML file")
 
     bench = sub.add_parser(
-        "bench", help="substrate stress benchmark (64 flows / 32 hosts)")
+        "bench", help="substrate stress benchmark (64 flows / 32 hosts); "
+                      "--scheduler switches to the workflow-scheduler bench")
     bench.add_argument("--transfers", type=int, default=1500,
                        help="total transfers to complete")
     bench.add_argument("--allocator", default="incremental",
                        choices=["incremental", "reference"])
+    bench.add_argument("--scheduler", action="store_true",
+                       help="benchmark the workflow scheduler (EMAN-shaped "
+                            "DAG) instead of the substrate")
+    bench.add_argument("--tasks", type=int, default=256,
+                       help="classesbymra fan-out for --scheduler")
+    bench.add_argument("--hosts", type=int, default=32,
+                       help="grid size for --scheduler")
+    bench.add_argument("--engine", default="fast",
+                       choices=["fast", "reference"],
+                       help="scheduling engine for --scheduler")
     bench.add_argument("--compare", action="store_true",
-                       help="run both allocators and report the speedup")
+                       help="run both engines/allocators, assert "
+                            "equivalence (scheduler) and report the speedup")
     bench.add_argument("--json", action="store_true",
                        help="emit the KernelStats counters as JSON on stdout")
 
@@ -249,7 +266,53 @@ def _bench_row(stats: dict) -> List[str]:
             f"{stats['route_cache_hit_rate']:.3f}"]
 
 
+def _scheduler_bench_row(result: dict) -> List[str]:
+    makespans = result["makespans"]
+    return [str(result["engine"]),
+            f"{result['wall_seconds']:.3f}",
+            f"{result['evaluations_per_sec']:,.0f}",
+            f"{result['sched_rounds']}",
+            f"{result['sched_evaluations']}",
+            f"{result['sched_memo_hits']}",
+            " ".join(f"{makespans[h]:.1f}" for h in result["heuristics"])]
+
+
+def _cmd_scheduler_bench(args: argparse.Namespace) -> int:
+    engines = ["fast", "reference"] if args.compare else [args.engine]
+    env = build_scheduler_bench_env(n_tasks=args.tasks, n_hosts=args.hosts)
+    results = [run_scheduler_bench(engine=engine, env=env,
+                                   keep_schedules=args.compare)
+               for engine in engines]
+    if args.compare:
+        fast, ref = results
+        for name in fast["heuristics"]:
+            if not schedules_equal(fast["schedules"][name],
+                                   ref["schedules"][name]):
+                print(f"ENGINES DIVERGE on {name}", file=sys.stderr)
+                return 1
+    for result in results:
+        result.pop("schedules", None)  # not JSON/table material
+    if args.json:
+        payload = results[0] if len(results) == 1 else results
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(format_table(
+        ["engine", "wall (s)", "evals/sec", "rounds", "evals", "memo hits",
+         "makespans (s)"],
+        [_scheduler_bench_row(result) for result in results],
+        title=f"scheduler benchmark: {results[0]['n_tasks']} tasks / "
+              f"{results[0]['n_hosts']} hosts, "
+              f"{'+'.join(results[0]['heuristics'])}"))
+    if args.compare:
+        speedup = results[1]["wall_seconds"] / results[0]["wall_seconds"]
+        print(f"\nschedules identical across engines; "
+              f"fast engine speedup: {speedup:.2f}x")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.scheduler:
+        return _cmd_scheduler_bench(args)
     allocators = (["incremental", "reference"] if args.compare
                   else [args.allocator])
     results = [run_substrate_bench(total_transfers=args.transfers,

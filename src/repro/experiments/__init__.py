@@ -17,6 +17,11 @@ from .opportunistic import (
     asymmetric_grid,
     run_opportunistic,
 )
+from .scheduler_bench import (
+    build_scheduler_bench_env,
+    run_scheduler_bench,
+    schedules_equal,
+)
 from .substrate import build_substrate_grid, run_substrate_bench
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "PHASES",
     "WORST_CASE_SECONDS",
     "bar_chart",
+    "build_scheduler_bench_env",
     "build_substrate_grid",
     "format_series",
     "format_table",
@@ -38,5 +44,7 @@ __all__ = [
     "run_fig3",
     "run_fig3_point",
     "run_fig4",
+    "run_scheduler_bench",
     "run_substrate_bench",
+    "schedules_equal",
 ]

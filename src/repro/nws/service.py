@@ -111,12 +111,25 @@ class NetworkWeatherService:
         """
         return self.topology.path_latency(src, dst)
 
+    def transfer_params(self, src: str, dst: str) -> Tuple[float, float]:
+        """(latency seconds, bandwidth bytes/s) between two hosts.
+
+        ``transfer_forecast`` decomposed for callers that memoise:
+        forecasts only move when sensor readings arrive, so while a
+        scheduler is deliberating (no simulated time passes) the pair is
+        frozen and a transfer time for any volume reconstitutes as
+        ``latency + nbytes / bandwidth``.  The fast workflow scheduler
+        caches these pairs per (src, dst) for exactly that reason.
+        """
+        return self.latency_forecast(src, dst), self.bandwidth_forecast(src,
+                                                                        dst)
+
     def transfer_forecast(self, src: str, dst: str, nbytes: float) -> float:
         """Predicted seconds to move ``nbytes`` from src to dst."""
         if nbytes < 0:
             raise ValueError("negative transfer size")
-        bw = self.bandwidth_forecast(src, dst)
-        return self.latency_forecast(src, dst) + nbytes / bw
+        latency, bw = self.transfer_params(src, dst)
+        return latency + nbytes / bw
 
     # -- plumbing for tests/benchmarks ------------------------------------------
     def _site_key(self, src: str, dst: str) -> Tuple[str, str]:

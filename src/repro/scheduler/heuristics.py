@@ -13,17 +13,37 @@ differ only in which ready task they commit next.  Baselines (random,
 FIFO round-robin a la DAGMan without performance models, and HEFT as a
 modern reference point) ride on the same machinery so comparisons are
 apples-to-apples.
+
+Two engines implement that machinery (mirroring the substrate's
+incremental/reference allocator split, DESIGN §2.1):
+
+* :class:`_FastBuilder` — the production engine behind every
+  ``HEURISTICS`` entry.  Array-backed and incremental: each task's
+  data-ready vector is computed once when the task becomes ready
+  (readiness guarantees predecessor placements are final), NWS transfer
+  forecasts are memoised per (src, dst) pair (forecasts are frozen
+  while a schedule is being built), completion times are evaluated as
+  vectorized rows, and after each commit only the single changed
+  resource column is rescored.  Readiness itself is event-driven via
+  per-component completion counts instead of a full rescan.
+* :class:`_ReferenceBuilder` — the pure-Python oracle behind
+  ``REFERENCE_HEURISTICS``.  Deliberately naive (full ready-set rescan,
+  per-cell completion times, no memo); property tests assert both
+  engines produce placement-for-placement identical schedules and
+  byte-identical ``scheduler`` trace spans.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nws.service import NetworkWeatherService
+from ..sim.stats import KernelStats
 from .ranking import RankMatrix
 from .workflow import Task, Workflow
 
@@ -38,6 +58,13 @@ __all__ = [
     "fifo_schedule",
     "heft_schedule",
     "HEURISTICS",
+    "reference_min_min",
+    "reference_max_min",
+    "reference_sufferage",
+    "reference_random_schedule",
+    "reference_fifo_schedule",
+    "reference_heft_schedule",
+    "REFERENCE_HEURISTICS",
 ]
 
 
@@ -78,24 +105,356 @@ class Schedule:
                       key=lambda p: p.est_start)
 
     def component_resources(self, component_name: str) -> List[str]:
-        return [p.resource for name, p in sorted(self.placements.items())
-                if p.task.component.name == component_name]
+        """Resources of one component's tasks, ordered by task index.
+
+        Ordering must be numeric, not lexicographic: sorting the
+        placement *names* puts ``c[10]`` before ``c[2]``, which silently
+        misassigns per-task resources for any component with ten or
+        more tasks.
+        """
+        placed = [p for p in self.placements.values()
+                  if p.task.component.name == component_name]
+        placed.sort(key=lambda p: p.task.index)
+        return [p.resource for p in placed]
 
 
-class _Builder:
-    """Shared state for list-scheduling heuristics."""
+def _scheduler_env(nws: NetworkWeatherService
+                   ) -> Tuple[KernelStats, Optional[object]]:
+    """(stats, trace) a builder bills its work to.
+
+    Counters ride on the simulator every heuristic already reaches
+    through the NWS; the tracer is kept only when the scheduler category
+    is enabled so the commit hot path stays a plain None test.
+    """
+    sim = getattr(nws, "sim", None)
+    stats = getattr(sim, "stats", None)
+    if stats is None:
+        stats = KernelStats()
+    trace = getattr(sim, "trace", None)
+    if trace is not None and "scheduler" not in trace.active:
+        trace = None
+    return stats, trace
+
+
+def _heft_upward_ranks(workflow: Workflow,
+                       matrix: RankMatrix) -> Dict[str, float]:
+    """Upward rank per component from mean finite execution costs.
+
+    Shared by both engines so HEFT's task ordering is identical.
+    """
+    mean_cost = {}
+    for i, task in enumerate(matrix.tasks):
+        finite = matrix.ecosts[i][np.isfinite(matrix.ecosts[i])]
+        if len(finite) == 0:
+            raise ScheduleError(f"task {task.name} has no eligible resource")
+        mean_cost[task.name] = float(np.mean(finite))
+    upward: Dict[str, float] = {}
+    for component in reversed(workflow.components()):
+        succ = workflow.successors(component.name)
+        succ_rank = max((upward[s.name] for s in succ), default=0.0)
+        upward[component.name] = (
+            mean_cost[workflow.task_names(component.name)[0]] + succ_rank)
+    return upward
+
+
+_SCORED = ("min-min", "max-min", "sufferage", "heft")
+
+
+class _FastBuilder:
+    """Incremental array-backed engine behind every ``HEURISTICS`` entry.
+
+    Three invariants carry the speedup (DESIGN §3.1):
+
+    * A task's data-ready vector is fixed the moment the task becomes
+      ready: readiness requires every predecessor component to be fully
+      committed, so predecessor finish times and locations are final.
+      The vector is computed once, as a numpy row over all resources.
+    * NWS forecasts are frozen while a schedule is being built (no
+      simulated time passes), so per-(src, dst) latency/bandwidth pairs
+      are memoised and any transfer volume prices as ``lat + n/bw``.
+    * A commit changes exactly one resource's availability, so only
+      completion times in that column move — and only rows whose best
+      or second-best completion lived in that column need re-ranking.
+    """
 
     def __init__(self, workflow: Workflow, matrix: RankMatrix,
                  nws: NetworkWeatherService) -> None:
         self.workflow = workflow
         self.matrix = matrix
         self.nws = nws
-        # The tracer rides on the simulator every heuristic already
-        # reaches through the NWS; keep it only when the scheduler
-        # category is enabled so commit() stays a plain None test.
-        trace = getattr(getattr(nws, "sim", None), "trace", None)
-        self.trace = (trace if trace is not None
-                      and "scheduler" in trace.active else None)
+        self.stats, self.trace = _scheduler_env(nws)
+        self.schedule = Schedule(heuristic="")
+
+        tasks = matrix.tasks
+        self.tasks = tasks
+        self.n_tasks = len(tasks)
+        self.n_resources = len(matrix.resources)
+        self.resource_names = [r.name for r in matrix.resources]
+        self.names = [workflow.task_names(t.component.name)[t.index]
+                      for t in tasks]
+
+        comps = workflow.components()
+        self._comps = comps
+        comp_index = {c.name: k for k, c in enumerate(comps)}
+        self.comp_of = np.empty(self.n_tasks, dtype=np.intp)
+        self.comp_tasks: List[List[int]] = [[] for _ in comps]
+        for i, task in enumerate(tasks):
+            k = comp_index[task.component.name]
+            self.comp_of[i] = k
+            self.comp_tasks[k].append(i)
+        self._pred_comps = [
+            [comp_index[p.name] for p in workflow.predecessors(c.name)]
+            for c in comps]
+        self._succ_comps = [
+            [comp_index[s.name] for s in workflow.successors(c.name)]
+            for c in comps]
+        self._pending = [len(preds) for preds in self._pred_comps]
+        self._done = [0] * len(comps)
+
+        self.ecosts = matrix.ecosts
+        # Entry components pay their static dcost column (fixed data
+        # sources recorded by the rank matrix); downstream components
+        # get data movement dynamically through the data-ready vector,
+        # so their column must not double count.
+        self.extra = np.zeros_like(matrix.dcosts)
+        for k in range(len(comps)):
+            if not self._pred_comps[k]:
+                for i in self.comp_tasks[k]:
+                    self.extra[i] = matrix.dcosts[i]
+
+        self.free = np.zeros(self.n_resources)
+        self.finish = np.zeros(self.n_tasks)
+        self.loc = np.full(self.n_tasks, -1, dtype=np.intp)
+        self.dr = np.zeros((self.n_tasks, self.n_resources))
+        self.ct = np.full((self.n_tasks, self.n_resources), np.inf)
+        self.best_j = np.full(self.n_tasks, -1, dtype=np.intp)
+        self.best_ct = np.full(self.n_tasks, np.inf)
+        self.second_j = np.full(self.n_tasks, -1, dtype=np.intp)
+        self.second_ct = np.full(self.n_tasks, np.inf)
+        self.ready: List[int] = []
+        self._committed = 0
+        self._needs_ct = False
+        self._transfer_memo: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- frozen-forecast memo ------------------------------------------------
+    def _transfer_rows(self, src: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(latency, bandwidth) vectors from resource ``src`` to all."""
+        rows = self._transfer_memo.get(src)
+        if rows is None:
+            src_name = self.resource_names[src]
+            lat = np.empty(self.n_resources)
+            bw = np.empty(self.n_resources)
+            for j, dst_name in enumerate(self.resource_names):
+                if j == src:
+                    lat[j], bw[j] = 0.0, math.inf
+                else:
+                    lat[j], bw[j] = self.nws.transfer_params(src_name,
+                                                             dst_name)
+            rows = (lat, bw)
+            self._transfer_memo[src] = rows
+        else:
+            self.stats.sched_memo_hits += 1
+        return rows
+
+    # -- readiness -----------------------------------------------------------
+    def _data_ready_row(self, k: int) -> np.ndarray:
+        """When component ``k``'s inputs can be present, per resource.
+
+        All tasks of a component share one data-ready vector: the
+        formula only involves the component's predecessors and volume.
+        """
+        preds = self._pred_comps[k]
+        ready = np.zeros(self.n_resources)
+        if not preds:
+            return ready
+        volume = self._comps[k].input_bytes_per_task
+        for p in preds:
+            pred = self._comps[p]
+            share = volume / pred.n_tasks if volume > 0 else 0.0
+            idxs = self.comp_tasks[p]
+            if share <= 0:
+                latest = max(self.finish[i] for i in idxs)
+                np.maximum(ready, latest, out=ready)
+                continue
+            # Group predecessor tasks by location: tasks sharing a
+            # source see one transfer-cost row, and max(finish) + cost
+            # equals the per-task maximum exactly (addition is
+            # monotone, so max commutes with it).
+            latest_from: Dict[int, float] = {}
+            for i in idxs:
+                src = int(self.loc[i])
+                done = self.finish[i]
+                prev = latest_from.get(src)
+                if prev is None or done > prev:
+                    latest_from[src] = done
+            for src, latest in latest_from.items():
+                lat, bw = self._transfer_rows(src)
+                cost = lat + share / bw
+                cost[src] = 0.0  # no transfer when data is already local
+                np.maximum(ready, latest + cost, out=ready)
+        return ready
+
+    def _activate(self, k: int) -> None:
+        """Component ``k`` became ready: admit its tasks to the queue."""
+        row = self._data_ready_row(k)
+        idxs = self.comp_tasks[k]
+        for i in idxs:
+            self.dr[i] = row
+            insort(self.ready, i)
+        if self._needs_ct:
+            for i in idxs:
+                self.ct[i] = (np.maximum(self.free, row)
+                              + self.ecosts[i] + self.extra[i])
+                self._rescore(i)
+            self.stats.sched_evaluations += len(idxs) * self.n_resources
+
+    # -- scoring -------------------------------------------------------------
+    def _rescore(self, i: int) -> None:
+        """Recompute best/second-best completion for task ``i``'s row."""
+        row = self.ct[i]
+        j = int(np.argmin(row))
+        best = row[j]
+        if not np.isfinite(best):
+            raise ScheduleError(
+                f"task {self.names[i]} has no eligible resource")
+        self.best_j[i] = j
+        self.best_ct[i] = best
+        if self.n_resources == 1:
+            self.second_j[i] = -1
+            self.second_ct[i] = np.inf
+            return
+        saved = row[j]
+        row[j] = np.inf
+        j2 = int(np.argmin(row))
+        self.second_j[i] = j2
+        self.second_ct[i] = row[j2]
+        row[j] = saved
+
+    def _select_scored(self, name: str,
+                       upward: Optional[np.ndarray]) -> int:
+        """Pick the next task for the completion-time-driven rules."""
+        ridx = np.fromiter(self.ready, dtype=np.intp, count=len(self.ready))
+        if name == "min-min":
+            vals = self.best_ct[ridx]
+            tied = ridx[vals == vals.min()]
+        elif name == "max-min":
+            vals = self.best_ct[ridx]
+            tied = ridx[vals == vals.max()]
+        elif name == "sufferage":
+            vals = self.second_ct[ridx] - self.best_ct[ridx]
+            tied = ridx[vals == vals.max()]
+        else:  # heft: upward rank, ties toward the largest task name
+            vals = upward[self.comp_of[ridx]]
+            tied = ridx[vals == vals.max()]
+            if len(tied) > 1:
+                return max((self.names[i], int(i)) for i in tied)[1]
+            return int(tied[0])
+        if len(tied) > 1:  # ties break toward the smallest task name
+            return min((self.names[i], int(i)) for i in tied)[1]
+        return int(tied[0])
+
+    def _eligible(self, i: int) -> List[int]:
+        eligible = self.matrix.eligible_resources(i)
+        if not eligible:
+            raise ScheduleError(
+                f"task {self.names[i]} has no eligible resource")
+        return eligible
+
+    # -- committing ----------------------------------------------------------
+    def _commit(self, i: int, j: int) -> None:
+        record = self.matrix.resources[j]
+        start = float(max(self.free[j], self.dr[i, j]))
+        finish = float(start + self.ecosts[i, j] + self.extra[i, j])
+        name = self.names[i]
+        self.schedule.placements[name] = Placement(
+            task=self.tasks[i], resource=record.name,
+            est_start=start, est_finish=finish)
+        if self.trace is not None:
+            self.trace.complete(
+                "scheduler", f"task:{name}", ts=start,
+                dur=finish - start, host=record.name,
+                heuristic=self.schedule.heuristic,
+                rank=self.matrix.rank(i, j))
+        self.free[j] = finish
+        self.finish[i] = finish
+        self.loc[i] = j
+        self.ready.remove(i)
+        self._committed += 1
+        # Only column j moved, and availability only grows: rows whose
+        # best/second lived elsewhere keep their ranking (their other
+        # columns are untouched and j can only have become worse).
+        if self._needs_ct and self.ready:
+            ridx = np.fromiter(self.ready, dtype=np.intp,
+                               count=len(self.ready))
+            self.ct[ridx, j] = (np.maximum(self.free[j], self.dr[ridx, j])
+                                + self.ecosts[ridx, j] + self.extra[ridx, j])
+            self.stats.sched_evaluations += len(ridx)
+            stale = ridx[(self.best_j[ridx] == j)
+                         | (self.second_j[ridx] == j)]
+            for r in stale:
+                self._rescore(int(r))
+        # Event-driven readiness: a fully committed component unlocks
+        # its successors, whose data-ready vectors are now final.
+        k = int(self.comp_of[i])
+        self._done[k] += 1
+        if self._done[k] == self._comps[k].n_tasks:
+            for s in self._succ_comps[k]:
+                self._pending[s] -= 1
+                if self._pending[s] == 0:
+                    self._activate(s)
+
+    # -- driver --------------------------------------------------------------
+    def run(self, name: str,
+            rng: Optional[np.random.Generator] = None) -> Schedule:
+        self.schedule.heuristic = name
+        self._needs_ct = name in _SCORED
+        upward = None
+        if name == "heft":
+            by_comp = _heft_upward_ranks(self.workflow, self.matrix)
+            upward = np.array([by_comp[c.name] for c in self._comps])
+        for k in range(len(self._comps)):
+            if self._pending[k] == 0:
+                self._activate(k)
+        total = self.n_tasks
+        while self._committed < total:
+            self.stats.sched_rounds += 1
+            if not self.ready:
+                raise ScheduleError("no ready tasks but schedule incomplete "
+                                    "(cycle or ineligible task)")
+            if name == "random":
+                i = self.ready[int(rng.integers(len(self.ready)))]
+                j = int(rng.choice(self._eligible(i)))
+            elif name == "fifo":
+                i = self.ready[0]
+                free = self.free
+                j = min(self._eligible(i), key=lambda jj: (free[jj], jj))
+            else:
+                i = self._select_scored(name, upward)
+                j = int(self.best_j[i])
+            self._commit(i, j)
+        if self.trace is not None:
+            self.trace.instant("scheduler", f"heuristic:{name}",
+                               makespan=self.schedule.makespan,
+                               tasks=total)
+        return self.schedule
+
+
+class _ReferenceBuilder:
+    """Pure-Python oracle: from-scratch ready sets and per-cell costs.
+
+    This is the pre-overhaul implementation, kept verbatim in spirit as
+    the semantic baseline the fast engine is property-tested against
+    (the same role ``reference_max_min`` plays for the substrate
+    allocator).  O(T²·R) completion-time evaluations with per-call NWS
+    forecasts — run it on small inputs only.
+    """
+
+    def __init__(self, workflow: Workflow, matrix: RankMatrix,
+                 nws: NetworkWeatherService) -> None:
+        self.workflow = workflow
+        self.matrix = matrix
+        self.nws = nws
+        self.stats, self.trace = _scheduler_env(nws)
         self.task_index = {t.name: i for i, t in enumerate(matrix.tasks)}
         self.resource_free = {r.name: 0.0 for r in matrix.resources}
         self.finish: Dict[str, float] = {}
@@ -125,8 +484,7 @@ class _Builder:
         volume = task.component.input_bytes_per_task
         for pred in preds:
             share = volume / pred.n_tasks if volume > 0 else 0.0
-            for i in range(pred.n_tasks):
-                pname = Task(pred, i).name
+            for pname in self.workflow.task_names(pred.name):
                 arrive = self.finish[pname]
                 src = self.location[pname]
                 if share > 0 and src != resource:
@@ -150,6 +508,7 @@ class _Builder:
     def completion_time(self, task: Task, resource_index: int
                         ) -> float:
         """Estimated finish if ``task`` went on that resource next."""
+        self.stats.sched_evaluations += 1
         i = self.task_index[task.name]
         exec_seconds = self.matrix.ecosts[i, resource_index]
         if not math.isfinite(exec_seconds):
@@ -174,10 +533,10 @@ class _Builder:
         record = self.matrix.resources[resource_index]
         i = self.task_index[task.name]
         exec_seconds = self.matrix.ecosts[i, resource_index]
-        start = max(self.resource_free[record.name],
-                    self.data_ready_time(task, record.name))
-        finish = start + exec_seconds + self._entry_dcost(task,
-                                                          resource_index)
+        start = float(max(self.resource_free[record.name],
+                          self.data_ready_time(task, record.name)))
+        finish = float(start + exec_seconds
+                       + self._entry_dcost(task, resource_index))
         self.schedule.placements[task.name] = Placement(
             task=task, resource=record.name,
             est_start=start, est_finish=finish)
@@ -192,6 +551,13 @@ class _Builder:
                 heuristic=self.schedule.heuristic,
                 rank=self.matrix.rank(i, resource_index))
 
+    def finish_trace(self) -> None:
+        if self.trace is not None:
+            self.trace.instant("scheduler",
+                               f"heuristic:{self.schedule.heuristic}",
+                               makespan=self.schedule.makespan,
+                               tasks=len(self.matrix.tasks))
+
     def run(self, select: Callable[[List[Tuple[Task, int, float, float]]],
                                    Tuple[Task, int]],
             name: str) -> Schedule:
@@ -203,6 +569,7 @@ class _Builder:
         self.schedule.heuristic = name
         total = len(self.matrix.tasks)
         while len(self.schedule.placements) < total:
+            self.stats.sched_rounds += 1
             ready = self.ready_tasks()
             if not ready:
                 raise ScheduleError("no ready tasks but schedule incomplete "
@@ -216,20 +583,35 @@ class _Builder:
                 candidates.append((task, j, ct, second))
             task, j = select(candidates)
             self.commit(task, j)
-        if self.trace is not None:
-            self.trace.instant("scheduler", f"heuristic:{name}",
-                               makespan=self.schedule.makespan,
-                               tasks=total)
+        self.finish_trace()
         return self.schedule
 
 
+# -- reference selection rules ----------------------------------------------
+def _ref_select_min_min(candidates):
+    task, j, _ct, _s = min(candidates, key=lambda c: (c[2], c[0].name))
+    return task, j
+
+
+def _ref_select_max_min(candidates):
+    task, j, _ct, _s = min(candidates, key=lambda c: (-c[2], c[0].name))
+    return task, j
+
+
+def _ref_select_sufferage(candidates):
+    def key(c):
+        _task, _j, ct, second = c
+        gap = (second - ct) if math.isfinite(second) else math.inf
+        return (-gap, c[0].name)
+    task, j, _ct, _s = min(candidates, key=key)
+    return task, j
+
+
+# -- the fast entry points (the registry) ------------------------------------
 def min_min(workflow: Workflow, matrix: RankMatrix,
             nws: NetworkWeatherService) -> Schedule:
     """Commit the ready task with the *smallest* best completion time."""
-    def select(candidates):
-        task, j, _ct, _s = min(candidates, key=lambda c: (c[2], c[0].name))
-        return task, j
-    return _Builder(workflow, matrix, nws).run(select, "min-min")
+    return _FastBuilder(workflow, matrix, nws).run("min-min")
 
 
 def max_min(workflow: Workflow, matrix: RankMatrix,
@@ -240,10 +622,7 @@ def max_min(workflow: Workflow, matrix: RankMatrix,
     Ties break toward the lexicographically smallest task name, the
     same direction as min-min, so schedules are stable under renaming.
     """
-    def select(candidates):
-        task, j, _ct, _s = min(candidates, key=lambda c: (-c[2], c[0].name))
-        return task, j
-    return _Builder(workflow, matrix, nws).run(select, "max-min")
+    return _FastBuilder(workflow, matrix, nws).run("max-min")
 
 
 def sufferage(workflow: Workflow, matrix: RankMatrix,
@@ -254,14 +633,7 @@ def sufferage(workflow: Workflow, matrix: RankMatrix,
     Ties break toward the lexicographically smallest task name (see
     max_min).
     """
-    def select(candidates):
-        def key(c):
-            _task, _j, ct, second = c
-            gap = (second - ct) if math.isfinite(second) else math.inf
-            return (-gap, c[0].name)
-        task, j, _ct, _s = min(candidates, key=key)
-        return task, j
-    return _Builder(workflow, matrix, nws).run(select, "sufferage")
+    return _FastBuilder(workflow, matrix, nws).run("sufferage")
 
 
 def random_schedule(workflow: Workflow, matrix: RankMatrix,
@@ -275,20 +647,7 @@ def random_schedule(workflow: Workflow, matrix: RankMatrix,
     """
     if rng is None:
         rng = np.random.default_rng(0)
-    builder = _Builder(workflow, matrix, nws)
-    builder.schedule.heuristic = "random"
-    total = len(matrix.tasks)
-    while len(builder.schedule.placements) < total:
-        ready = builder.ready_tasks()
-        if not ready:
-            raise ScheduleError("no ready tasks but schedule incomplete")
-        task = ready[int(rng.integers(len(ready)))]
-        i = builder.task_index[task.name]
-        eligible = matrix.eligible_resources(i)
-        if not eligible:
-            raise ScheduleError(f"task {task.name} has no eligible resource")
-        builder.commit(task, int(rng.choice(eligible)))
-    return builder.schedule
+    return _FastBuilder(workflow, matrix, nws).run("random", rng=rng)
 
 
 def fifo_schedule(workflow: Workflow, matrix: RankMatrix,
@@ -296,13 +655,76 @@ def fifo_schedule(workflow: Workflow, matrix: RankMatrix,
     """Baseline: DAGMan-style matchmaking without performance models —
     ready tasks in declaration order onto the earliest-free eligible
     resource (resource speed is invisible to the policy)."""
-    builder = _Builder(workflow, matrix, nws)
+    return _FastBuilder(workflow, matrix, nws).run("fifo")
+
+
+def heft_schedule(workflow: Workflow, matrix: RankMatrix,
+                  nws: NetworkWeatherService) -> Schedule:
+    """HEFT (extension): order tasks by upward rank computed with mean
+    execution costs, then assign each to its earliest-finish resource."""
+    return _FastBuilder(workflow, matrix, nws).run("heft")
+
+
+# -- the reference oracle entry points ---------------------------------------
+def reference_min_min(workflow: Workflow, matrix: RankMatrix,
+                      nws: NetworkWeatherService) -> Schedule:
+    """Oracle counterpart of :func:`min_min`."""
+    return _ReferenceBuilder(workflow, matrix, nws).run(
+        _ref_select_min_min, "min-min")
+
+
+def reference_max_min(workflow: Workflow, matrix: RankMatrix,
+                      nws: NetworkWeatherService) -> Schedule:
+    """Oracle counterpart of :func:`max_min`."""
+    return _ReferenceBuilder(workflow, matrix, nws).run(
+        _ref_select_max_min, "max-min")
+
+
+def reference_sufferage(workflow: Workflow, matrix: RankMatrix,
+                        nws: NetworkWeatherService) -> Schedule:
+    """Oracle counterpart of :func:`sufferage`."""
+    return _ReferenceBuilder(workflow, matrix, nws).run(
+        _ref_select_sufferage, "sufferage")
+
+
+def reference_random_schedule(workflow: Workflow, matrix: RankMatrix,
+                              nws: NetworkWeatherService,
+                              rng: Optional[np.random.Generator] = None
+                              ) -> Schedule:
+    """Oracle counterpart of :func:`random_schedule` (same rng draws)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    builder = _ReferenceBuilder(workflow, matrix, nws)
+    builder.schedule.heuristic = "random"
+    total = len(matrix.tasks)
+    while len(builder.schedule.placements) < total:
+        builder.stats.sched_rounds += 1
+        ready = builder.ready_tasks()
+        if not ready:
+            raise ScheduleError("no ready tasks but schedule incomplete "
+                                "(cycle or ineligible task)")
+        task = ready[int(rng.integers(len(ready)))]
+        i = builder.task_index[task.name]
+        eligible = matrix.eligible_resources(i)
+        if not eligible:
+            raise ScheduleError(f"task {task.name} has no eligible resource")
+        builder.commit(task, int(rng.choice(eligible)))
+    builder.finish_trace()
+    return builder.schedule
+
+
+def reference_fifo_schedule(workflow: Workflow, matrix: RankMatrix,
+                            nws: NetworkWeatherService) -> Schedule:
+    """Oracle counterpart of :func:`fifo_schedule`."""
+    builder = _ReferenceBuilder(workflow, matrix, nws)
     builder.schedule.heuristic = "fifo"
     total = len(matrix.tasks)
     while len(builder.schedule.placements) < total:
+        builder.stats.sched_rounds += 1
         ready = builder.ready_tasks()
         if not ready:
-            raise ScheduleError("no ready tasks but schedule incomplete")
+            raise ScheduleError("no ready tasks but schedule incomplete "
+                                "(cycle or ineligible task)")
         task = ready[0]
         i = builder.task_index[task.name]
         eligible = matrix.eligible_resources(i)
@@ -312,26 +734,14 @@ def fifo_schedule(workflow: Workflow, matrix: RankMatrix,
                 key=lambda jj: (builder.resource_free[
                     matrix.resources[jj].name], jj))
         builder.commit(task, j)
+    builder.finish_trace()
     return builder.schedule
 
 
-def heft_schedule(workflow: Workflow, matrix: RankMatrix,
-                  nws: NetworkWeatherService) -> Schedule:
-    """HEFT (extension): order tasks by upward rank computed with mean
-    execution costs, then assign each to its earliest-finish resource."""
-    mean_cost = {}
-    for i, task in enumerate(matrix.tasks):
-        finite = matrix.ecosts[i][np.isfinite(matrix.ecosts[i])]
-        if len(finite) == 0:
-            raise ScheduleError(f"task {task.name} has no eligible resource")
-        mean_cost[task.name] = float(np.mean(finite))
-    upward: Dict[str, float] = {}
-    for component in reversed(workflow.components()):
-        succ = workflow.successors(component.name)
-        succ_rank = max((upward[s.name] for s in succ), default=0.0)
-        upward[component.name] = mean_cost[Task(component, 0).name] + succ_rank
-    builder = _Builder(workflow, matrix, nws)
-    builder.schedule.heuristic = "heft"
+def reference_heft_schedule(workflow: Workflow, matrix: RankMatrix,
+                            nws: NetworkWeatherService) -> Schedule:
+    """Oracle counterpart of :func:`heft_schedule`."""
+    upward = _heft_upward_ranks(workflow, matrix)
 
     def select(candidates):
         task, j, _ct, _s = max(
@@ -339,7 +749,7 @@ def heft_schedule(workflow: Workflow, matrix: RankMatrix,
             key=lambda c: (upward[c[0].component.name], c[0].name))
         return task, j
 
-    return builder.run(select, "heft")
+    return _ReferenceBuilder(workflow, matrix, nws).run(select, "heft")
 
 
 #: name -> heuristic callable, for sweeps and benchmarks.  Every entry
@@ -351,4 +761,15 @@ HEURISTICS = {
     "random": random_schedule,
     "fifo": fifo_schedule,
     "heft": heft_schedule,
+}
+
+#: the pure-Python oracle under the same names — the semantic baseline
+#: the fast engine is property- and benchmark-tested against.
+REFERENCE_HEURISTICS = {
+    "min-min": reference_min_min,
+    "max-min": reference_max_min,
+    "sufferage": reference_sufferage,
+    "random": reference_random_schedule,
+    "fifo": reference_fifo_schedule,
+    "heft": reference_heft_schedule,
 }

@@ -70,20 +70,37 @@ def dcost(task: Task, record: ResourceRecord,
 
 @dataclass
 class RankMatrix:
-    """The §3.1 performance matrix: p[i][j] = rank of task i on resource j."""
+    """The §3.1 performance matrix: p[i][j] = rank of task i on resource j.
+
+    The matrix is immutable once built, so the eligibility lists and the
+    task-name index are computed on first use and cached — the scheduling
+    engines hit both in their inner loops.
+    """
 
     tasks: List[Task]
     resources: List[ResourceRecord]
     values: np.ndarray  # shape (n_tasks, n_resources), float, inf = ineligible
     ecosts: np.ndarray  # execution-seconds component of the rank
     dcosts: np.ndarray  # data-movement component of the rank
+    _eligible: Optional[List[List[int]]] = None
+    _task_index: Optional[Dict[str, int]] = None
 
     def rank(self, task_index: int, resource_index: int) -> float:
         return float(self.values[task_index, resource_index])
 
+    def task_index(self, task_name: str) -> int:
+        """Row of ``task_name`` in the matrix (cached name -> index map)."""
+        if self._task_index is None:
+            self._task_index = {t.name: i for i, t in enumerate(self.tasks)}
+        return self._task_index[task_name]
+
     def eligible_resources(self, task_index: int) -> List[int]:
-        return [j for j in range(len(self.resources))
-                if math.isfinite(self.values[task_index, j])]
+        if self._eligible is None:
+            finite = np.isfinite(self.values)
+            self._eligible = [
+                [int(j) for j in np.nonzero(finite[i])[0]]
+                for i in range(len(self.tasks))]
+        return self._eligible[task_index]
 
     @property
     def shape(self):

@@ -72,6 +72,7 @@ class Workflow:
         self.name = name
         self.graph = nx.DiGraph()
         self._components: Dict[str, WorkflowComponent] = {}
+        self._task_names: Dict[str, Tuple[str, ...]] = {}
 
     def add_component(self, component: WorkflowComponent) -> WorkflowComponent:
         if component.name in self._components:
@@ -115,6 +116,22 @@ class Workflow:
         for component in self.components():
             out.extend(Task(component, i) for i in range(component.n_tasks))
         return out
+
+    def task_names(self, component_name: str) -> Tuple[str, ...]:
+        """Task-name strings of one component, cached.
+
+        ``Task.name`` builds an f-string on every access; the schedulers
+        sit in loops over predecessor task names, so they read this
+        cache instead.  Component names and ``n_tasks`` are frozen, so
+        entries never go stale.
+        """
+        cached = self._task_names.get(component_name)
+        if cached is None:
+            component = self.component(component_name)
+            cached = tuple(f"{component_name}[{i}]"
+                           for i in range(component.n_tasks))
+            self._task_names[component_name] = cached
+        return cached
 
     def levels(self) -> List[List[WorkflowComponent]]:
         """Components grouped by topological generation."""

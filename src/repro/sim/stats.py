@@ -5,7 +5,9 @@ instance (``sim.stats``).  The kernel increments ``events_processed``
 per agenda entry; the MicroGrid layers increment the substrate counters
 (``reallocations`` on every max-min recomputation, ``wakeups_cancelled``
 whenever a stale epoch-guarded completion wake-up fires, and the route
-cache hit/miss pair).  Counters are plain integer attributes on a
+cache hit/miss pair); the workflow scheduler increments the ``sched_*``
+trio (list-scheduling rounds, per-cell completion-time evaluations, and
+NWS transfer-forecast memo hits).  Counters are plain integer attributes on a
 slotted object, so updating one costs a single attribute store — cheap
 enough to leave enabled in every run.
 
@@ -30,6 +32,9 @@ class KernelStats:
         "wakeups_cancelled",
         "route_cache_hits",
         "route_cache_misses",
+        "sched_rounds",
+        "sched_evaluations",
+        "sched_memo_hits",
     )
 
     def __init__(self) -> None:
@@ -42,6 +47,9 @@ class KernelStats:
         self.wakeups_cancelled = 0
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        self.sched_rounds = 0
+        self.sched_evaluations = 0
+        self.sched_memo_hits = 0
 
     @property
     def route_cache_hit_rate(self) -> float:
@@ -60,6 +68,9 @@ class KernelStats:
             "route_cache_hits": self.route_cache_hits,
             "route_cache_misses": self.route_cache_misses,
             "route_cache_hit_rate": self.route_cache_hit_rate,
+            "sched_rounds": self.sched_rounds,
+            "sched_evaluations": self.sched_evaluations,
+            "sched_memo_hits": self.sched_memo_hits,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -78,6 +89,9 @@ def format_stats(stats: "KernelStats", elapsed_wall: float = 0.0) -> str:
         f"route cache hits     : {stats.route_cache_hits}",
         f"route cache misses   : {stats.route_cache_misses}",
         f"route cache hit rate : {stats.route_cache_hit_rate:.3f}",
+        f"scheduler rounds     : {stats.sched_rounds}",
+        f"candidate evals      : {stats.sched_evaluations}",
+        f"forecast memo hits   : {stats.sched_memo_hits}",
     ]
     if elapsed_wall > 0:
         rate = stats.events_processed / elapsed_wall

@@ -247,6 +247,73 @@ class TestHeuristics:
             assert len(schedule.placements) == 5, name
 
 
+class TestComponentResources:
+    def test_ordered_by_task_index_beyond_ten(self):
+        """Regression: sorting placements by *name* put par[10] before
+        par[2], so any component with >= 10 tasks got its per-task
+        resource list scrambled."""
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=12)
+        matrix = build_rank_matrix(wf, gis, nws)
+        schedule = min_min(wf, matrix, nws)
+        resources = schedule.component_resources("par")
+        assert len(resources) == 12
+        expected = [schedule.placements[f"par[{i}]"].resource
+                    for i in range(12)]
+        assert resources == expected
+
+    def test_matches_single_task_component(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=3)
+        matrix = build_rank_matrix(wf, gis, nws)
+        schedule = min_min(wf, matrix, nws)
+        assert schedule.component_resources("entry") == \
+            [schedule.placements["entry[0]"].resource]
+
+
+class TestSchedulerCounters:
+    def test_counters_accumulate_on_sim_stats(self):
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=6)
+        matrix = build_rank_matrix(wf, gis, nws)
+        sim.stats.reset()
+        min_min(wf, matrix, nws)
+        snap = sim.stats.snapshot()
+        # one round per committed task
+        assert snap["sched_rounds"] == len(wf.tasks())
+        assert snap["sched_evaluations"] > 0
+
+    def test_memo_hits_on_shared_sources(self):
+        """Two consumers pulling from the same producer location must
+        hit the per-builder forecast memo, not re-query the NWS."""
+        sim, grid, gis, nws = env()
+        wf = Workflow("split")
+        wf.add_component(comp("entry", mflop_total=100.0))
+        wf.add_component(comp("left", mflop_total=2000.0, n_tasks=2,
+                              in_bytes=4e6))
+        wf.add_component(comp("right", mflop_total=2000.0, n_tasks=2,
+                              in_bytes=4e6))
+        wf.add_dependence("entry", "left")
+        wf.add_dependence("entry", "right")
+        matrix = build_rank_matrix(wf, gis, nws)
+        sim.stats.reset()
+        min_min(wf, matrix, nws)
+        assert sim.stats.snapshot()["sched_memo_hits"] > 0
+
+    def test_reference_engine_counts_more_evaluations(self):
+        from repro.scheduler import reference_min_min
+        sim, grid, gis, nws = env()
+        wf = fan_workflow(width=8)
+        matrix = build_rank_matrix(wf, gis, nws)
+        sim.stats.reset()
+        min_min(wf, matrix, nws)
+        fast_evals = sim.stats.snapshot()["sched_evaluations"]
+        sim.stats.reset()
+        reference_min_min(wf, matrix, nws)
+        ref_evals = sim.stats.snapshot()["sched_evaluations"]
+        assert 0 < fast_evals < ref_evals
+
+
 class TestTieBreakDirection:
     """max-min and sufferage must break score ties toward the smallest
     task name, the same direction as min-min (regression: they used the

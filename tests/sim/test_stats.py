@@ -50,6 +50,32 @@ def test_format_stats_includes_rate_when_timed():
     assert "events/sec" not in format_stats(stats)
 
 
+def test_scheduler_counters_in_snapshot_and_reset():
+    stats = KernelStats()
+    assert stats.sched_rounds == 0
+    stats.sched_rounds = 5
+    stats.sched_evaluations = 100
+    stats.sched_memo_hits = 7
+    snap = stats.snapshot()
+    assert snap["sched_rounds"] == 5
+    assert snap["sched_evaluations"] == 100
+    assert snap["sched_memo_hits"] == 7
+    stats.reset()
+    assert stats.sched_rounds == 0
+    assert stats.sched_evaluations == 0
+    assert stats.sched_memo_hits == 0
+
+
+def test_format_stats_includes_scheduler_counters():
+    stats = KernelStats()
+    stats.sched_evaluations = 1234
+    text = format_stats(stats)
+    assert "candidate evals" in text
+    assert "1234" in text
+    assert "forecast memo hits" in text
+    assert "scheduler rounds" in text
+
+
 def test_every_simulator_owns_independent_stats():
     a, b = Simulator(), Simulator()
     a.timeout(1.0)

@@ -5,11 +5,15 @@ that every instrumented layer emitted records consistent with the
 experiment's own reported numbers.
 """
 
+import numpy as np
 import pytest
 
 from repro.experiments.fig3_qr import run_fig3_point
 from repro.experiments.fig4_swap import run_fig4
+from repro.experiments.scheduler_bench import build_scheduler_bench_env
+from repro.scheduler import HEURISTICS, REFERENCE_HEURISTICS
 from repro.trace import Tracer, violation_timeline
+from repro.trace.export import write_jsonl
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +100,46 @@ class TestFig4Instrumentation:
         tracer, result = fig4_traced
         last = max(r.ts for r in tracer.records)
         assert last == pytest.approx(result.finished_at)
+
+
+class TestSchedulerTraceParity:
+    """The fast engine must emit byte-identical ``scheduler`` spans to
+    the reference oracle — tracing is part of the equivalence contract,
+    not just the placements."""
+
+    @staticmethod
+    def _export(tmp_path, engine_table, name, label):
+        env = build_scheduler_bench_env(n_tasks=24, n_hosts=8)
+        workflow, matrix, nws = env
+        tracer = Tracer(categories=["scheduler"]).bind(nws.sim)
+        if name == "random":
+            engine_table[name](workflow, matrix, nws,
+                               rng=np.random.default_rng(7))
+        else:
+            engine_table[name](workflow, matrix, nws)
+        path = tmp_path / f"{label}-{name}.jsonl"
+        write_jsonl(tracer, str(path))
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_exports_are_byte_identical(self, tmp_path, name):
+        fast = self._export(tmp_path, HEURISTICS, name, "fast")
+        reference = self._export(tmp_path, REFERENCE_HEURISTICS, name,
+                                 "reference")
+        assert fast == reference
+        assert fast  # spans actually emitted, not two empty files
+
+    def test_spans_cover_every_task(self, tmp_path):
+        env = build_scheduler_bench_env(n_tasks=16, n_hosts=8)
+        workflow, matrix, nws = env
+        tracer = Tracer(categories=["scheduler"]).bind(nws.sim)
+        HEURISTICS["min-min"](workflow, matrix, nws)
+        spans = [r for r in tracer.select("scheduler")
+                 if r.name.startswith("task:")]
+        assert len(spans) == len(matrix.tasks)
+        (summary,) = [r for r in tracer.select("scheduler")
+                      if r.name.startswith("heuristic:")]
+        assert summary.args["tasks"] == len(matrix.tasks)
 
 
 class TestDisabledTracerBehaviour:
