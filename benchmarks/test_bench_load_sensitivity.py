@@ -8,7 +8,7 @@ remaining work there is to protect and the smaller the migration gain;
 the heavier the load, the larger the gain.
 """
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import pytest
 

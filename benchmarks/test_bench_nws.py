@@ -8,7 +8,7 @@ adaptive selector — whose selling point is being near-best on *every*
 regime without per-series tuning.
 """
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 import pytest

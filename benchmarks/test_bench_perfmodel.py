@@ -7,7 +7,6 @@ truth across problem sizes and cache configurations — the property the
 whole workflow scheduler rests on.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps import qr_total_mflop

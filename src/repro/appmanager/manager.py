@@ -9,8 +9,8 @@ applications through their whole lifecycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..apps.qr import QrBenchmark, QrRun
 from ..binder.binder import BINDER_PACKAGE, BindReport, DistributedBinder

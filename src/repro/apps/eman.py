@@ -23,7 +23,6 @@ at ~90% of the round's compute).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from ..perfmodel.model import AnalyticComponentModel
 from ..scheduler.workflow import Workflow, WorkflowComponent

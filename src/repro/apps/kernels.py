@@ -15,7 +15,6 @@ at ~INTERACTION_FLOPS flops each.
 from __future__ import annotations
 
 import math
-from typing import List
 
 __all__ = [
     "qr_total_mflop",

@@ -12,8 +12,8 @@ Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..microgrid.host import Host
 from ..microgrid.network import Topology

@@ -16,7 +16,7 @@ the stacked-bar breakdown of Figure 3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..binder.binder import DistributedBinder
@@ -32,7 +32,7 @@ from ..nws.service import NetworkWeatherService
 from ..perfmodel.model import AnalyticComponentModel
 from ..rescheduling.rescheduler import MigratableApp
 from ..rescheduling.rss import RuntimeSupportSystem
-from ..rescheduling.srs import RegisteredData, SRSLibrary, restore_plan
+from ..rescheduling.srs import RegisteredData, SRSLibrary
 from ..sim.events import Event
 from ..sim.kernel import Simulator
 from .kernels import (

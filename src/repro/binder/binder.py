@@ -17,7 +17,7 @@ CPU, so binding a loaded or slow node is visibly slower — as it was.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..gis.directory import GridInformationService
 from ..gis.software import SoftwareNotFound, SoftwareRegistry

@@ -12,7 +12,7 @@ terminates." (§2)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Sequence
 
 from ..gis.directory import GridInformationService
 from ..microgrid.network import Topology

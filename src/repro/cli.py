@@ -9,6 +9,7 @@
     python -m repro describe path/to/grid.dml
     python -m repro bench --compare
     python -m repro trace diff a.trace.json b.trace.json
+    python -m repro lint --format json --baseline simlint-baseline.json
 
 Every experiment subcommand accepts ``--trace PATH`` to export the
 run's event timeline as Chrome trace-event JSON (load it in Perfetto
@@ -16,14 +17,17 @@ or ``chrome://tracing``).  ``repro trace`` inspects such files:
 ``validate`` checks the schema, ``summary`` prints per-host
 utilization and the violation timeline, ``diff`` pinpoints the first
 divergent event between two traces (exit 1 when they diverge).
+``repro lint`` runs the determinism linter (``repro.simlint``) over
+the tree — see DESIGN.md §5 for the rules and suppression syntax.
 
-Exit codes: 0 success, 1 experiment/trace failure, 2 bad usage.
+Exit codes: 0 success, 1 experiment/trace/lint failure, 2 bad usage.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -123,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "equivalence (scheduler) and report the speedup")
     bench.add_argument("--json", action="store_true",
                        help="emit the KernelStats counters as JSON on stdout")
+
+    lint = sub.add_parser(
+        "lint", help="simulator-discipline static analysis (simlint); "
+                     "exit 1 on findings not covered by the baseline")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="JSON baseline of grandfathered findings")
+    lint.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="accept all current findings into a new "
+                           "baseline file and exit 0")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="comma-separated rule ids to run (e.g. "
+                           "SL001,SL003); default: all")
+    lint.add_argument("--ignore", metavar="RULES", default=None,
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
 
     trace = sub.add_parser("trace", help="inspect exported trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -334,6 +359,43 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from . import simlint
+
+    if args.list_rules:
+        print(simlint.render_rule_table())
+        return 0
+    paths = args.paths
+    if not paths:
+        import repro
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings = simlint.lint_paths(paths, select=select, ignore=ignore)
+    except simlint.UnknownRuleError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        simlint.write_baseline(args.write_baseline,
+                               simlint.make_baseline(findings))
+        print(f"wrote baseline with {len(findings)} finding(s) "
+              f"-> {args.write_baseline}", file=sys.stderr)
+        return 0
+    grandfathered: List[simlint.Finding] = []
+    if args.baseline:
+        doc = simlint.load_baseline(args.baseline)
+        findings, grandfathered = simlint.apply_baseline(findings, doc)
+    if args.format == "json":
+        print(simlint.render_json(findings, grandfathered))
+    else:
+        print(simlint.render_text(findings, len(grandfathered)))
+    return 1 if findings else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "diff":
         divergence = diff_files(args.a, args.b)
@@ -366,6 +428,7 @@ _COMMANDS = {
     "opportunistic": _cmd_opportunistic,
     "describe": _cmd_describe,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
 }
 
@@ -376,6 +439,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _COMMANDS[args.command](args)
     except (KeyboardInterrupt, SystemExit):
         raise
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro lint --list-rules | head`);
+        # exit quietly the way POSIX filters do, parking stdout on
+        # devnull so the interpreter's flush-at-exit stays silent too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except Exception as exc:  # noqa: BLE001 — CLI boundary
         print(f"repro {args.command}: {type(exc).__name__}: {exc}",
               file=sys.stderr)

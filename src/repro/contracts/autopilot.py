@@ -9,8 +9,8 @@ rescheduler registers actuators the monitor can fire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..sim.kernel import Simulator
 

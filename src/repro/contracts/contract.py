@@ -10,7 +10,7 @@ these predictions as ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List
 
 __all__ = ["PerformanceContract", "ContractViolation"]
 

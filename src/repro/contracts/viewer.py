@@ -10,8 +10,8 @@ migration requests called out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from .monitor import ContractMonitor
 

@@ -16,7 +16,7 @@ compilation package the binder ships to each target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..microgrid.host import Architecture
 from ..perfmodel.model import ComponentModel

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterable, List, Sequence
 
 __all__ = ["format_table", "format_series", "bar_chart"]
@@ -63,7 +62,7 @@ def bar_chart(labels: Sequence[str], values: Sequence[float],
         raise ValueError("labels and values must align")
     lines = [title] if title else []
     peak = max(values, default=0.0)
-    label_w = max((len(l) for l in labels), default=0)
+    label_w = max((len(lbl) for lbl in labels), default=0)
     for label, value in zip(labels, values):
         n = int(round(width * value / peak)) if peak > 0 else 0
         lines.append(f"{label.ljust(label_w)} | {'#' * n} {value:.1f}")

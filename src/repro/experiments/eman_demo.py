@@ -103,5 +103,6 @@ def run_eman_demo(params: Optional[EmanParameters] = None,
         result.measured_makespan = trace.makespan
         used = {t.resource for t in trace.tasks.values()}
         result.resources_used = len(used)
-        result.isas_used = sorted({gis.lookup(name).isa for name in used})
+        result.isas_used = sorted({gis.lookup(name).isa
+                                   for name in sorted(used)})
     return result

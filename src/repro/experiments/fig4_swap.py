@@ -13,7 +13,7 @@ iteration number against time — dips and then recovers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..apps.nbody import NBodySimulation, ProgressPoint
 from ..microgrid.loadgen import ScheduledLoad

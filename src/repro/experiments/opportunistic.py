@@ -15,7 +15,6 @@ sooner on the freed machines (even paying the stop/restart cost).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..appmanager.manager import GradsEnvironment
 from ..apps.qr import QrBenchmark, QrRun

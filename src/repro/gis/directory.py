@@ -9,7 +9,7 @@ queries, the way MDS's LDAP-style lookups were used.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..microgrid.dml import Grid
 from ..microgrid.host import Host

@@ -11,7 +11,7 @@ installed on which hosts, and at what path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["SoftwarePackage", "SoftwareRegistry", "SoftwareNotFound"]
 

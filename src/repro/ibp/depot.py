@@ -15,7 +15,7 @@ max(network, disk) + latency, a standard store-and-stream model).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..microgrid.host import Host
 from ..microgrid.network import Topology

@@ -22,9 +22,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..sim.kernel import Simulator
-from .cluster import Cluster
 from .dml import Grid
-from .host import Architecture, Host
+from .host import Architecture
 
 __all__ = ["VirtualClock", "dilated_grid"]
 

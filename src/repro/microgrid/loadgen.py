@@ -9,7 +9,7 @@ sweeps (NWS forecasting benchmarks, swap-policy ablations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

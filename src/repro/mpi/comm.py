@@ -23,8 +23,8 @@ process-swapping reschedul er uses (:mod:`repro.mpi.swap`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from ..microgrid.host import Host
 from ..microgrid.network import Topology

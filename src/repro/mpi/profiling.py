@@ -9,7 +9,7 @@ contract monitor compares their deltas against model predictions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["RankCounters"]

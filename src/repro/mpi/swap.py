@@ -21,7 +21,7 @@ implementation's hijacked communication layer applies them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..microgrid.host import Host
 from ..sim.events import Event

@@ -11,9 +11,8 @@ all of them.
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 

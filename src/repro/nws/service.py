@@ -16,7 +16,7 @@ configuration baseline.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..microgrid.dml import Grid
 from ..microgrid.host import Host

@@ -16,7 +16,7 @@ orders).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from .flops import fit_flop_model, power_law_fit

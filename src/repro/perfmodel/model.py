@@ -19,7 +19,7 @@ scheduler's ``dcost`` term needs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..microgrid.host import Architecture

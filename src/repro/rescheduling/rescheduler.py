@@ -25,7 +25,7 @@ experiments can measure both sides of every case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..contracts.monitor import MigrationRequest

@@ -13,7 +13,7 @@ and stopped, and to store and retrieve checkpointed data." (§4.1.1)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..sim.kernel import Simulator
 

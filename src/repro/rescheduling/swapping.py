@@ -21,8 +21,8 @@ swaps.  Four policies are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from ..microgrid.host import Host
 from ..mpi.swap import SwappableJob

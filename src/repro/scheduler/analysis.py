@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence
 
 from ..gis.directory import ResourceRecord
 from .heuristics import Schedule
-from .workflow import Task, Workflow
+from .workflow import Workflow
 
 __all__ = ["makespan_lower_bound", "utilization", "load_balance",
            "gantt", "ScheduleStats", "analyze"]

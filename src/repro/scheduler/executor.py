@@ -10,13 +10,13 @@ end to end: schedule, bind, execute).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..gis.directory import GridInformationService
 from ..microgrid.network import Topology
 from ..sim.events import AllOf, Event
 from ..sim.kernel import Simulator
-from .heuristics import Placement, Schedule
+from .heuristics import Schedule
 from .workflow import Task, Workflow
 
 __all__ = ["WorkflowExecutor", "ExecutionTrace", "TaskTrace"]

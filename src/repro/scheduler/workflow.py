@@ -11,8 +11,8 @@ from (Casanova et al., HCW 2000).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import networkx as nx
 

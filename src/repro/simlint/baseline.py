@@ -1,0 +1,76 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a JSON document recording the fingerprints of findings
+that were reviewed and accepted (with a justification) at the time the
+linter was introduced.  ``repro lint --baseline PATH`` subtracts those
+findings; anything not in the baseline is *new* and fails the run.
+Fingerprints are content-based (rule + normalized line text +
+occurrence counter, see ``findings.fingerprint_of``), so pure line-number
+shifts do not invalidate a baseline, while edits to a flagged line do —
+which is the ratchet: touching grandfathered code forces a fix or an
+explicit in-file suppression.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "make_baseline",
+           "write_baseline", "apply_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict:
+    """Load and structurally validate a baseline document."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(f"{path}: not a simlint baseline (no 'findings')")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})")
+    if not isinstance(doc["findings"], dict):
+        raise ValueError(f"{path}: 'findings' must map path -> entries")
+    return doc
+
+
+def make_baseline(findings: Iterable[Finding],
+                  justification: str = "grandfathered at baseline "
+                                       "creation") -> Dict:
+    """Build a baseline document accepting every finding given."""
+    by_path: Dict[str, List[Dict]] = {}
+    for finding in sorted(findings):
+        by_path.setdefault(finding.path, []).append({
+            "rule": finding.rule,
+            "fingerprint": finding.fingerprint,
+            "line": finding.line,
+            "justification": justification,
+        })
+    return {"version": BASELINE_VERSION, "findings": by_path}
+
+
+def write_baseline(path: str, doc: Dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   doc: Dict) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against ``doc``."""
+    accepted: Set[Tuple[str, str, str]] = set()
+    for path, entries in doc["findings"].items():
+        for entry in entries:
+            accepted.add((path, entry["rule"], entry["fingerprint"]))
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.fingerprint)
+        (old if key in accepted else new).append(finding)
+    return new, old

@@ -1,0 +1,54 @@
+"""Finding and severity primitives shared across the simlint package.
+
+A :class:`Finding` is one rule violation at one source location.  The
+``fingerprint`` identifies the violation *content-wise* (rule + the
+normalized source line + an occurrence counter) rather than by line
+number, so baselines survive unrelated edits that shift code up or
+down — the same scheme ruff/flake8 ecosystems use for "grandfathering"
+pre-existing findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["ERROR", "WARNING", "SEVERITIES", "Finding", "fingerprint_of"]
+
+#: Severity levels.  Both fail the lint run; severity orders the report
+#: and tells a reader how confident the rule is that the finding is a
+#: genuine determinism hazard (errors) vs. a discipline smell (warnings).
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # posix-style path relative to the lint root
+    line: int  # 1-based
+    col: int  # 0-based, as reported by the ast module
+    rule: str  # e.g. "SL003"
+    severity: str  # ERROR or WARNING
+    message: str  # what is wrong at this site
+    hint: str  # the rule's fix-it hint
+    fingerprint: str  # content-based identity for baselines
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def fingerprint_of(rule: str, line_text: str, occurrence: int) -> str:
+    """Content-based identity: stable across moves, unique per repeat.
+
+    ``occurrence`` counts earlier findings in the same file with the
+    same ``(rule, normalized line)`` pair, so two identical violations
+    on different lines get distinct fingerprints.
+    """
+    normalized = " ".join(line_text.split())
+    digest = hashlib.sha1(
+        f"{rule}\x00{normalized}\x00{occurrence}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]

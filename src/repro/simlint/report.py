@@ -1,0 +1,62 @@
+"""Text and JSON reporters for simlint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .findings import ERROR, Finding
+from .rules import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(findings: Sequence[Finding],
+                grandfathered: int = 0) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"[{finding.severity}] {finding.message}")
+        lines.append(f"    hint: {finding.hint}")
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = len(findings) - errors
+    summary = (f"simlint: {len(findings)} finding(s) "
+               f"({errors} error(s), {warnings} warning(s))")
+    if grandfathered:
+        summary += f", {grandfathered} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                grandfathered: Optional[Sequence[Finding]] = None) -> str:
+    """Machine-readable report (stable key order, one JSON object)."""
+    def as_dict(finding: Finding) -> Dict:
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "severity": finding.severity,
+            "message": finding.message,
+            "hint": finding.hint,
+            "fingerprint": finding.fingerprint,
+        }
+
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "findings": [as_dict(f) for f in findings],
+        "grandfathered": [as_dict(f) for f in (grandfathered or [])],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_table(rule_ids: Optional[Iterable[str]] = None) -> str:
+    """The registered rules, for ``repro lint --list-rules``."""
+    lines = []
+    for rule_id in sorted(rule_ids if rule_ids is not None else RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule.id}  [{rule.severity:7s}] {rule.summary}")
+    return "\n".join(lines)

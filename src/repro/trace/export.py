@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Union
 
-from .tracer import CATEGORIES, Instant, Span, Tracer
+from .tracer import CATEGORIES, Span, Tracer
 
 __all__ = ["chrome_trace", "validate_chrome", "write_chrome",
            "write_jsonl", "read_jsonl", "records_as_dicts",

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.microgrid import ScheduledLoad, fig3_testbed, heterogeneous_testbed
+from repro.microgrid import fig3_testbed, heterogeneous_testbed
 from repro.gis import GridInformationService, SoftwarePackage, SoftwareRegistry
 from repro.nws import NetworkWeatherService
 from repro.perfmodel import AnalyticComponentModel

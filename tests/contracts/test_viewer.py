@@ -1,6 +1,5 @@
 """Tests for the text-mode Contract Viewer."""
 
-import pytest
 
 from repro.sim import Simulator
 from repro.contracts import (

@@ -1,0 +1,50 @@
+"""Same-seed determinism regressions for hazards simlint surfaced.
+
+PR 4's linter flagged the EMAN demo for iterating the used-resource
+*set* when deriving ``isas_used`` (SL003).  The end value happened to
+be order-insensitive, but the pattern is exactly how nondeterministic
+placement creeps in, so the iteration is now sorted and this module
+pins the whole experiment down: two same-seed runs must be
+byte-identical under the trace exporter and clean under ``repro trace
+diff`` — the same bar the CI trace-smoke job applies to fig4.
+"""
+
+from repro.experiments.eman_demo import run_eman_demo
+from repro.trace import Tracer, first_divergence, write_chrome
+
+
+def run_once():
+    tracer = Tracer()
+    result = run_eman_demo(tracer=tracer)
+    return result, tracer
+
+
+class TestEmanSameSeed:
+    def test_results_identical(self):
+        a, _ = run_once()
+        b, _ = run_once()
+        assert a.estimated == b.estimated
+        assert a.chosen_heuristic == b.chosen_heuristic
+        assert a.measured_makespan == b.measured_makespan
+        assert a.isas_used == b.isas_used
+        assert a.resources_used == b.resources_used
+
+    def test_isas_used_is_sorted_and_covers_both_isas(self):
+        result, _ = run_once()
+        assert result.isas_used == sorted(result.isas_used)
+        assert result.isas_used == ["ia32", "ia64"]
+
+    def test_traces_have_no_divergence(self):
+        _, tracer_a = run_once()
+        _, tracer_b = run_once()
+        assert len(tracer_a) == len(tracer_b) > 0
+        assert first_divergence(tracer_a, tracer_b) is None
+
+    def test_trace_exports_byte_identical(self, tmp_path):
+        paths = []
+        for label in ("a", "b"):
+            _, tracer = run_once()
+            path = tmp_path / f"eman-{label}.trace.json"
+            write_chrome(tracer, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()

@@ -1,12 +1,11 @@
 """Tests for the processor-sharing host model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import AllOf, Simulator
+from repro.sim import Simulator
 from repro.microgrid import Architecture, CacheLevel, Host
 
 

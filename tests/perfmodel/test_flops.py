@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.perfmodel import FlopModel, fit_flop_model, power_law_fit
+from repro.perfmodel import fit_flop_model, power_law_fit
 
 
 class TestFitFlopModel:

@@ -1,6 +1,5 @@
 """Tests for ranking and the scheduling heuristics."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,2 @@
+# SL000 fixture: this file intentionally does not parse.
+def broken(:

@@ -1,0 +1,20 @@
+"""SL001 fixture: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def positives(sim):
+    started = time.time()  # EXPECT[SL001]
+    stamp = datetime.now()  # EXPECT[SL001]
+    tick = time.monotonic()  # EXPECT[SL001]
+    wall = pc()  # EXPECT[SL001]
+    return started, stamp, tick, wall
+
+
+def negatives(sim):
+    started = sim.now
+    later = sim.now + 5.0
+    sleep_for = time.strptime  # referencing, not reading a clock
+    return started, later, sleep_for

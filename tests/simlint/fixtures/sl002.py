@@ -1,0 +1,23 @@
+"""SL002 fixture: global RNG state instead of seeded Generators."""
+
+import random  # EXPECT[SL002]
+import numpy as np
+from numpy.random import rand
+
+
+def positives(tasks):
+    pick = random.choice(tasks)  # EXPECT[SL002]
+    random.shuffle(tasks)  # EXPECT[SL002]
+    np.random.seed(0)  # EXPECT[SL002]
+    noise = np.random.normal(0.0, 1.0)  # EXPECT[SL002]
+    jitter = rand(3)  # EXPECT[SL002]
+    return pick, noise, jitter
+
+
+def negatives(tasks, registry):
+    rng = registry.stream("loadgen")
+    pick = rng.choice(tasks)
+    rng.shuffle(tasks)
+    fresh = np.random.default_rng(42)
+    seq = np.random.SeedSequence(7)
+    return pick, fresh, seq

@@ -1,0 +1,28 @@
+"""SL003 fixture: iteration over unordered sets without sorted()."""
+
+
+def positives(hosts, flows):
+    ready = set(hosts)
+    for host in ready:  # EXPECT[SL003]
+        print(host)
+    for flow in {f for f in flows if f.active}:  # EXPECT[SL003]
+        print(flow)
+    names = frozenset(h.name for h in hosts)
+    order = list(names)  # EXPECT[SL003]
+    labels = ", ".join({h.isa for h in hosts})  # EXPECT[SL003]
+    pairs = [x for x in ready | names]  # EXPECT[SL003]
+    return order, labels, pairs
+
+
+def negatives(hosts, flows):
+    ready = set(hosts)
+    for host in sorted(ready):
+        print(host)
+    if "n0" in ready:
+        ready.discard("n0")
+    count = len(ready)
+    fastest = max(ready)  # order-insensitive reduction
+    by_cluster = {h: h for h in hosts}  # dicts are insertion-ordered
+    for host in by_cluster:
+        print(host)
+    return count, fastest

@@ -1,0 +1,20 @@
+"""SL004 fixture: id()-based ordering or tie-breaking."""
+
+
+def positives(flows, a, b):
+    ranked = sorted(flows, key=id)  # EXPECT[SL004]
+    flows.sort(key=lambda f: id(f))  # EXPECT[SL004]
+    first = min(flows, key=id)  # EXPECT[SL004]
+    if id(a) < id(b):  # EXPECT[SL004]
+        return first
+    return ranked
+
+
+def negatives(flows, a, b):
+    ranked = sorted(flows, key=lambda f: f.name)
+    seen = {id(f) for f in sorted(flows, key=lambda f: f.name)}
+    if id(a) in seen:  # membership, not ordering
+        seen.discard(id(b))
+    if id(a) == id(b):  # identity test, not ordering
+        return ranked
+    return seen

@@ -1,0 +1,22 @@
+"""SL005 fixture: exact float equality on simulation-time values."""
+
+import math
+
+
+def positives(task, sim, deadline):
+    if task.finish_time == deadline:  # EXPECT[SL005]
+        return True
+    if sim.now != task.start_time:  # EXPECT[SL005]
+        return False
+    done_at = task.finish_time
+    return done_at == 0.0  # EXPECT[SL005]
+
+
+def negatives(task, sim, deadline, count):
+    if math.isclose(task.finish_time, deadline):
+        return True
+    if sim.now >= deadline:  # relational comparison is fine
+        return False
+    if count == 3:  # not a time value
+        return True
+    return task.name == "proc3d"

@@ -1,0 +1,20 @@
+"""SL006 fixture: kernel-private state touched outside repro.sim."""
+
+import heapq
+
+
+def positives(sim, event, flow_done):
+    sim._now = 125.0  # EXPECT[SL006]
+    heapq.heappush(sim._agenda, (sim.now, 1, 0, event))  # EXPECT[SL006]
+    sim._queue_event(event)  # EXPECT[SL006]
+    sim._schedule(event, 5.0)  # EXPECT[SL006]
+    event.callbacks = []  # EXPECT[SL006]
+    event.callbacks.append(flow_done)  # EXPECT[SL006]
+
+
+def negatives(sim, event, flow_done):
+    now = sim.now
+    timeout = sim.timeout(5.0)
+    event.add_callback(flow_done)
+    handle = sim.call_after(2.5, lambda: None)
+    return now, timeout, handle

@@ -1,0 +1,24 @@
+"""SL007 fixture: sim-process coroutines yielding non-Event values."""
+
+
+def positive_process(sim, peer):
+    yield sim.timeout(1.0)
+    yield 5  # EXPECT[SL007]
+    yield  # EXPECT[SL007]
+    yield [sim.event(), sim.event()]  # EXPECT[SL007]
+    yield "checkpoint"  # EXPECT[SL007]
+
+
+def negative_process(sim, peer):
+    yield sim.timeout(1.0)
+    ack = yield sim.event()
+    yield peer  # another process/event object: not statically wrong
+    return ack
+
+
+def negative_plain_generator(items):
+    # Not a sim process (never yields an event factory call): a plain
+    # data generator may yield whatever it likes.
+    for item in items:
+        yield item.cost
+    yield 0

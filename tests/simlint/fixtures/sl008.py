@@ -1,0 +1,31 @@
+"""SL008 fixture: mutable default arguments."""
+
+from collections import deque
+
+
+def positive_list(tasks=[]):  # EXPECT[SL008]
+    return tasks
+
+
+def positive_dict(placements={}):  # EXPECT[SL008]
+    return placements
+
+
+def positive_set_call(seen=set()):  # EXPECT[SL008]
+    return seen
+
+
+def positive_deque(pending=deque()):  # EXPECT[SL008]
+    return pending
+
+
+def positive_kwonly(*, acc=[]):  # EXPECT[SL008]
+    return acc
+
+
+def negative_none(tasks=None):
+    return list(tasks or ())
+
+
+def negative_immutable(hosts=(), isa="ia32", banned=frozenset()):
+    return hosts, isa, banned

@@ -1,0 +1,20 @@
+"""SL009 fixture: salted builtin hash() in simulation logic."""
+
+
+def _stable_hash(name):
+    value = 1469598103934665603
+    for byte in name.encode("utf-8"):
+        value = ((value ^ byte) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def positives(host):
+    bucket = hash(host.name) % 8  # EXPECT[SL009]
+    salt = hash("seed-material")  # EXPECT[SL009]
+    return bucket, salt
+
+
+def negatives(host, streams):
+    bucket = _stable_hash(host.name) % 8
+    gen = streams.stream(host.name)
+    return bucket, gen

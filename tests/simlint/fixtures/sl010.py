@@ -1,0 +1,23 @@
+"""SL010 fixture: ambient process/host entropy in simulation code."""
+
+import os
+import socket
+import uuid
+from os import urandom
+
+
+def positives():
+    token = uuid.uuid4()  # EXPECT[SL010]
+    seed_bytes = urandom(8)  # EXPECT[SL010]
+    debug = os.getenv("REPRO_DEBUG")  # EXPECT[SL010]
+    level = os.environ["REPRO_LEVEL"]  # EXPECT[SL010]
+    me = os.getpid()  # EXPECT[SL010]
+    here = socket.gethostname()  # EXPECT[SL010]
+    return token, seed_bytes, debug, level, me, here
+
+
+def negatives(config, registry):
+    seed = config.seed
+    rng = registry.stream("failures")
+    path = os.path.join(config.outdir, "trace.json")
+    return seed, rng, path

@@ -1,0 +1,38 @@
+"""Gated checks for the external linters (ruff, mypy).
+
+The container this repo is developed in does not ship ruff or mypy and
+nothing may be pip-installed, so these tests skip unless the tools are
+on PATH (they are in the CI ``lint`` job, which installs both).  Their
+job is to keep the committed pyproject.toml configs honest: if a config
+key goes stale or the tree drifts dirty, the failure shows up the
+moment the tools are actually available rather than only in CI logs.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(cmd):
+    return subprocess.run(cmd, cwd=str(REPO_ROOT), capture_output=True,
+                          text=True)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed (CI-only check)")
+def test_ruff_check_is_clean():
+    proc = _run(["ruff", "check", "src", "tests", "benchmarks"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (CI-only check)")
+def test_mypy_baseline_is_clean():
+    proc = _run([sys.executable, "-m", "mypy", "--config-file",
+                 "pyproject.toml"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,92 @@
+"""Per-rule fixture checks.
+
+Each ``fixtures/slNNN.py`` module is a lint *input*: lines a rule must
+flag carry an ``# EXPECT[SLNNN]`` marker, everything else (the negative
+examples) must stay silent under the *full* rule set.  The test runs
+all rules over each fixture and requires the flagged ``(line, rule)``
+pairs to equal the markers exactly — so every rule has demonstrated
+true positives AND demonstrated non-firing on the look-alike negatives.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.simlint import (
+    ALL_RULE_IDS,
+    PARSE_ERROR_ID,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.simlint.findings import SEVERITIES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXPECT_RE = re.compile(r"#\s*EXPECT\[([A-Z0-9,]+)\]")
+
+RULE_IDS_WITH_FIXTURES = tuple(
+    rule_id for rule_id in ALL_RULE_IDS if rule_id != PARSE_ERROR_ID)
+
+
+def expected_pairs(path: Path):
+    pairs = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = EXPECT_RE.search(text)
+        if match:
+            for rule_id in match.group(1).split(","):
+                pairs.add((lineno, rule_id))
+    return pairs
+
+
+def test_every_rule_has_a_fixture():
+    for rule_id in RULE_IDS_WITH_FIXTURES:
+        assert (FIXTURES / f"{rule_id.lower()}.py").is_file(), (
+            f"missing fixture module for {rule_id}")
+
+
+def test_rule_metadata_is_complete():
+    for rule in RULES.values():
+        assert re.fullmatch(r"SL\d{3}", rule.id)
+        assert rule.severity in SEVERITIES
+        assert rule.summary and rule.hint
+        assert callable(rule.check)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS_WITH_FIXTURES)
+def test_fixture_findings_match_expect_markers(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}.py"
+    expected = expected_pairs(path)
+    assert any(marker_rule == rule_id for _, marker_rule in expected), (
+        f"{path.name} declares no positive for {rule_id}")
+    findings = lint_source(path.read_text(), path.name)
+    actual = {(f.line, f.rule) for f in findings}
+    assert actual == expected
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS_WITH_FIXTURES)
+def test_select_restricts_to_one_rule(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}.py"
+    findings = lint_paths([str(path)], select=[rule_id])
+    assert findings, f"{rule_id} found nothing in its own fixture"
+    assert {f.rule for f in findings} == {rule_id}
+    assert all(f.severity == RULES[rule_id].severity for f in findings)
+
+
+def test_syntax_error_fixture_reports_sl000():
+    path = FIXTURES / "sl000.py"
+    findings = lint_source(path.read_text(), path.name)
+    assert [f.rule for f in findings] == [PARSE_ERROR_ID]
+    assert "syntax error" in findings[0].message
+
+
+def test_fixture_tree_trips_every_rule():
+    findings = lint_paths([str(FIXTURES)])
+    assert {f.rule for f in findings} == set(ALL_RULE_IDS)
+
+
+def test_findings_are_sorted_and_fingerprinted():
+    findings = lint_paths([str(FIXTURES)])
+    assert findings == sorted(findings)
+    keys = {(f.path, f.rule, f.fingerprint) for f in findings}
+    assert len(keys) == len(findings), "fingerprints must be unique per file"

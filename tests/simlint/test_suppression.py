@@ -1,0 +1,115 @@
+"""Suppression-comment behaviour: per-line, per-file, with rule lists."""
+
+import textwrap
+
+from repro.simlint import lint_source
+
+
+def lint(src, name="mod.py", **kwargs):
+    return lint_source(textwrap.dedent(src), name, **kwargs)
+
+
+VIOLATION = """\
+    import time
+
+    def run(sim):
+        return time.time()
+"""
+
+
+def test_unsuppressed_baseline_case():
+    findings = lint(VIOLATION)
+    assert [f.rule for f in findings] == ["SL001"]
+
+
+def test_line_suppression_with_rule_list():
+    findings = lint("""\
+        import time
+
+        def run(sim):
+            return time.time()  # simlint: ignore[SL001]
+    """)
+    assert findings == []
+
+
+def test_line_suppression_with_justification_text():
+    findings = lint("""\
+        import time
+
+        def run(sim):
+            return time.time()  # simlint: ignore[SL001] — harness wall time
+    """)
+    assert findings == []
+
+
+def test_line_suppression_without_rule_list_suppresses_all():
+    findings = lint("""\
+        import time
+
+        def run(sim, items=[]):  # simlint: ignore
+            return time.time()  # simlint: ignore
+    """)
+    assert findings == []
+
+
+def test_line_suppression_for_other_rule_does_not_apply():
+    findings = lint("""\
+        import time
+
+        def run(sim):
+            return time.time()  # simlint: ignore[SL003]
+    """)
+    assert [f.rule for f in findings] == ["SL001"]
+
+
+def test_suppression_only_covers_its_own_line():
+    findings = lint("""\
+        import time
+
+        def run(sim):
+            a = time.time()  # simlint: ignore[SL001]
+            b = time.time()
+            return a, b
+    """)
+    assert [(f.rule, f.line) for f in findings] == [("SL001", 5)]
+
+
+def test_file_suppression_with_rule_list():
+    findings = lint("""\
+        # simlint: ignore-file[SL001] — benchmark harness, wall time is the point
+        import time
+
+        def run(sim, items=[]):
+            return time.time()
+    """)
+    assert [f.rule for f in findings] == ["SL008"]
+
+
+def test_file_suppression_without_rule_list_suppresses_everything():
+    findings = lint("""\
+        # simlint: ignore-file
+        import time
+
+        def run(sim, items=[]):
+            return time.time()
+    """)
+    assert findings == []
+
+
+def test_multiple_rules_in_one_comment():
+    findings = lint("""\
+        import time
+
+        def run(sim, items=[]):  # simlint: ignore[SL008, SL001]
+            return time.time()
+    """)
+    assert [f.rule for f in findings] == ["SL001"]
+    assert findings[0].line == 4
+
+
+def test_suppressing_parse_errors_is_possible_per_file():
+    findings = lint("""\
+        # simlint: ignore-file[SL000]
+        def broken(:
+    """)
+    assert findings == []
