@@ -1,0 +1,43 @@
+"""Benchmark: the fault-injection campaign runner.
+
+A reduced MTBF sweep (N=3000, one trial per cell) plus the scripted
+kill scenarios; prints the campaign tables and re-checks that the
+report is deterministic under a fixed seed.
+"""
+
+import pytest
+
+from repro.experiments import campaign_tables
+from repro.faults import CampaignSpec, run_campaign
+
+SPEC = CampaignSpec(mtbf_grid=(400.0, 1200.0), mttr_grid=(90.0,),
+                    trials=1, seed=0, n=3000, checkpoint_every=3)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(SPEC, with_scenarios=True)
+
+
+def test_bench_fault_campaign(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(SPEC, with_scenarios=False),
+        rounds=1, iterations=1)
+    assert result.cells
+
+
+class TestCampaignReport:
+    def test_print_report(self, campaign):
+        print()
+        print(campaign_tables(campaign.report()))
+
+    def test_no_trial_leaks_inflight_migrations(self, campaign):
+        for cell in campaign.cells:
+            assert cell["migrating_leaked"] == [], cell
+
+    def test_all_scenarios_pass(self, campaign):
+        assert all(s["passed"] for s in campaign.scenarios)
+
+    def test_report_is_deterministic(self, campaign):
+        again = run_campaign(SPEC, with_scenarios=True)
+        assert again.to_json() == campaign.to_json()

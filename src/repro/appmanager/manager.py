@@ -96,11 +96,19 @@ class GradsEnvironment:
                    monitor_window: int = 3,
                    checkpoint_every: Optional[int] = None,
                    stable_storage: bool = False,
+                   max_restart_attempts: int = 8,
+                   retry_backoff_seconds: float = 5.0,
+                   migration_timeout_seconds: Optional[float] = None,
+                   blacklist_seconds: Optional[float] = None,
                    ) -> tuple:
         """Wire up a QR run with contract monitoring and rescheduling.
 
         Returns ``(run, monitor, rescheduler)``; call ``run.start()``
         and drive the simulator to execute.
+
+        The last four knobs configure the failure-recovery machinery:
+        bounded retry-with-backoff in the run's restart path, and the
+        rescheduler's migration timeout / target blacklisting.
         """
         rss = RuntimeSupportSystem(self.sim, home_host=self.submission_host)
         stable = (self.gis.host(self.submission_host)
@@ -113,10 +121,14 @@ class GradsEnvironment:
         monitor = ContractMonitor(self.sim, contract, window=monitor_window)
         run = QrRun(self.sim, self.grid, self.gis, self.nws, self.binder,
                     rss, srs, benchmark, initial_hosts, monitor=monitor,
-                    checkpoint_every=checkpoint_every)
+                    checkpoint_every=checkpoint_every,
+                    max_restart_attempts=max_restart_attempts,
+                    retry_backoff_seconds=retry_backoff_seconds)
         rescheduler = Rescheduler(
             self.sim, self.gis, self.nws, mode=rescheduler_mode,
-            worst_case_migration_seconds=worst_case_migration_seconds)
+            worst_case_migration_seconds=worst_case_migration_seconds,
+            migration_timeout_seconds=migration_timeout_seconds,
+            blacklist_seconds=blacklist_seconds)
         rescheduler.manage(run)
         monitor.rescheduler = rescheduler.request_handler(run)
         return run, monitor, rescheduler

@@ -118,14 +118,27 @@ class QrRun(MigratableApp):
                  srs: SRSLibrary, benchmark: QrBenchmark,
                  initial_hosts: Sequence[str],
                  monitor: Optional[ContractMonitor] = None,
-                 checkpoint_every: Optional[int] = None) -> None:
+                 checkpoint_every: Optional[int] = None,
+                 max_restart_attempts: int = 8,
+                 retry_backoff_seconds: float = 5.0) -> None:
         """``checkpoint_every`` enables periodic SRS checkpoints every k
         panel steps, which is what makes crash recovery (the VGrADS
         fault-tolerance extension) possible: after a host failure the
         manager restarts from the last periodic checkpoint instead of
-        from scratch."""
+        from scratch.
+
+        ``max_restart_attempts`` bounds *consecutive* failed restart
+        attempts (the counter resets each time a segment launches
+        successfully), so a run wedged against dead resources gives up
+        with a RuntimeError instead of spinning forever;
+        ``retry_backoff_seconds`` is the base of the exponential
+        backoff between those attempts."""
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if max_restart_attempts < 1:
+            raise ValueError("max_restart_attempts must be >= 1")
+        if retry_backoff_seconds <= 0:
+            raise ValueError("retry_backoff_seconds must be positive")
         self.sim = sim
         self.grid = grid
         self.gis = gis
@@ -141,6 +154,8 @@ class QrRun(MigratableApp):
         for data in benchmark.registered_data():
             srs.register_data(data)
         self.checkpoint_every = checkpoint_every
+        self.max_restart_attempts = max_restart_attempts
+        self.retry_backoff_seconds = retry_backoff_seconds
         #: completed panel steps (all ranks past this step)
         self.progress = 0
         #: Figure 3 ledger: phase name -> seconds
@@ -148,6 +163,10 @@ class QrRun(MigratableApp):
         self.migrations = 0
         #: host failures the manager recovered from
         self.failures_recovered = 0
+        #: per-recovery log: {"segment", "crashed_at", "restarted_at"}
+        self.recoveries: List[Dict[str, float]] = []
+        #: backoff waits taken because no candidate resources existed
+        self.retry_waits = 0
         self._migration_target: Optional[List[str]] = None
         self._migration_done: Optional[Event] = None
         self._finished: Optional[Event] = None
@@ -284,71 +303,74 @@ class QrRun(MigratableApp):
 
     def _lifecycle(self):
         segment = 1
+        attempt = 0  # consecutive failed restarts (resets on launch)
         while True:
             hosts = self._hosts
             suffix = f"_{segment}"
-            # Resource selection + performance modeling service time.
-            yield self.sim.timeout(RESOURCE_SELECTION_SECONDS)
-            self.timings[f"resource_selection{suffix}"] = \
-                RESOURCE_SELECTION_SECONDS
-            yield self.sim.timeout(PERF_MODELING_SECONDS)
-            self.timings[f"performance_modeling{suffix}"] = \
-                PERF_MODELING_SECONDS
-            # Grid overhead: the distributed binder.
-            t0 = self.sim.now
-            report = yield self.binder.bind(self._cop, hosts)
-            self.timings[f"grid_overhead{suffix}"] = self.sim.now - t0
-            # Application start: MPI synchronization.
-            t0 = self.sim.now
-            yield self.sim.timeout(MPI_STARTUP_SECONDS)
-            self.timings[f"application_start{suffix}"] = self.sim.now - t0
-            # Renegotiate the contract for this segment's resources,
-            # freezing the CPU availability terms as of launch time —
-            # a contract that tracked live NWS data would adapt itself
-            # to any slowdown and never register a violation.
-            if self.monitor is not None:
-                frozen = {name: self.nws.cpu_forecast(name)
-                          for name in hosts}
-                self.monitor.contract.update_terms(
-                    lambda step, h=tuple(hosts), a=frozen:
-                    max(self.predicted_step_seconds(step, list(h),
-                                                    availability=a),
-                        1e-9))
-                self.monitor.resume()
-            # Run the application segment.
-            self._ckpt_write_secs.clear()
-            self._ckpt_read_secs.clear()
-            live_hosts = [self.gis.host(name) for name in hosts]
-            job = MpiJob(self.sim, self.grid.topology, live_hosts,
-                         name=f"{self.name}:seg{segment}")
-            self._job = job
-            if self.monitor is not None:
-                self.monitor.attach_job(job)
-            self._track_progress(job)
-            t0 = self.sim.now
-            done = job.launch(self.make_body())
+            seg_t0 = self.sim.now
+            job: Optional[MpiJob] = None
+            launch_t0: Optional[float] = None
             try:
-                yield done
-            except HostFailure:
-                # Fault tolerance (the VGrADS extension): reap the
-                # surviving ranks, drop the dead machines, and restart
-                # the segment from the last SRS checkpoint.
-                for proc in job._procs:
-                    proc.kill()
+                # Resource selection + performance modeling service time.
+                yield self.sim.timeout(RESOURCE_SELECTION_SECONDS)
+                self.timings[f"resource_selection{suffix}"] = \
+                    RESOURCE_SELECTION_SECONDS
+                yield self.sim.timeout(PERF_MODELING_SECONDS)
+                self.timings[f"performance_modeling{suffix}"] = \
+                    PERF_MODELING_SECONDS
+                # Grid overhead: the distributed binder.
+                t0 = self.sim.now
+                report = yield self.binder.bind(self._cop, hosts)
+                self.timings[f"grid_overhead{suffix}"] = self.sim.now - t0
+                # Application start: MPI synchronization.
+                t0 = self.sim.now
+                yield self.sim.timeout(MPI_STARTUP_SECONDS)
+                self.timings[f"application_start{suffix}"] = \
+                    self.sim.now - t0
+                # Renegotiate the contract for this segment's resources,
+                # freezing the CPU availability terms as of launch time —
+                # a contract that tracked live NWS data would adapt itself
+                # to any slowdown and never register a violation.
                 if self.monitor is not None:
-                    self.monitor.suspend()
-                self.timings[f"failure_recovery_{segment}"] = \
-                    self.timings.get(f"failure_recovery_{segment}", 0.0) \
-                    + (self.sim.now - t0)
-                self.failures_recovered += 1
-                dead = [name for name in hosts
-                        if not self.gis.host(name).alive]
-                self._hosts = self.propose_hosts(exclude=dead)
-                self.rss.clear_stop()
-                self._migration_target = None
+                    frozen = {name: self.nws.cpu_forecast(name)
+                              for name in hosts}
+                    self.monitor.contract.update_terms(
+                        lambda step, h=tuple(hosts), a=frozen:
+                        max(self.predicted_step_seconds(step, list(h),
+                                                        availability=a),
+                            1e-9))
+                    self.monitor.resume()
+                # Run the application segment.
+                self._ckpt_write_secs.clear()
+                self._ckpt_read_secs.clear()
+                live_hosts = [self.gis.host(name) for name in hosts]
+                job = MpiJob(self.sim, self.grid.topology, live_hosts,
+                             name=f"{self.name}:seg{segment}")
+                self._job = job
+                if self.monitor is not None:
+                    self.monitor.attach_job(job)
+                self._track_progress(job)
+                launch_t0 = self.sim.now
+                done = job.launch(self.make_body())
+                attempt = 0
+                if self.recoveries and \
+                        self.recoveries[-1].get("restarted_at") is None:
+                    self.recoveries[-1]["restarted_at"] = self.sim.now
+                yield done
+            except HostFailure as exc:
+                # Fault tolerance (the VGrADS extension): reap any
+                # surviving ranks, drop the dead machines, and restart
+                # the segment from the last SRS checkpoint.  The try
+                # covers the *whole* segment — a target host dying
+                # during bind or launch lands here too, instead of
+                # killing the manager process.
+                attempt += 1
+                yield from self._recover(exc, segment, job,
+                                         seg_t0 if launch_t0 is None
+                                         else launch_t0, attempt)
                 segment += 1
                 continue
-            elapsed = self.sim.now - t0
+            elapsed = self.sim.now - launch_t0
             ckpt_read = max(self._ckpt_read_secs.values(), default=0.0)
             ckpt_write = max(self._ckpt_write_secs.values(), default=0.0)
             if ckpt_read > 0:
@@ -366,6 +388,77 @@ class QrRun(MigratableApp):
             segment += 1
             done_event, self._migration_done = self._migration_done, None
             done_event.succeed(self._hosts)
+
+    def _recover(self, exc: HostFailure, segment: int,
+                 job: Optional[MpiJob], billed_from: float, attempt: int):
+        """Clean up after a HostFailure and pick restart resources.
+
+        Generator (it may sleep between resource-selection retries);
+        raises RuntimeError once ``max_restart_attempts`` consecutive
+        attempts could not produce a running segment.
+        """
+        if job is not None:
+            for proc in job._procs:
+                proc.kill()
+        if self.monitor is not None:
+            self.monitor.suspend()
+        self.timings[f"failure_recovery_{segment}"] = \
+            self.timings.get(f"failure_recovery_{segment}", 0.0) \
+            + (self.sim.now - billed_from)
+        self.failures_recovered += 1
+        self.recoveries.append({"segment": float(segment),
+                                "crashed_at": self.sim.now,
+                                "restarted_at": None})
+        trace = self.sim.trace
+        if trace is not None and "fault" in trace.active:
+            trace.instant("fault", "restart", app=self.name,
+                          segment=segment, host=exc.host_name,
+                          attempt=attempt)
+        # A migration that was in flight is dead: fail its event so the
+        # rescheduler abandons the attempt (unblocking future
+        # rescheduling) instead of waiting forever.
+        self.rss.clear_stop()
+        self._migration_target = None
+        done_event, self._migration_done = self._migration_done, None
+        if done_event is not None and not done_event.triggered:
+            done_event.fail(exc)
+            if trace is not None and "fault" in trace.active:
+                trace.instant("fault", "migration-aborted", app=self.name,
+                              segment=segment)
+        if attempt > self.max_restart_attempts:
+            raise RuntimeError(
+                f"{self.name}: giving up after {attempt - 1} consecutive "
+                f"failed restart attempts")
+        # Exponential backoff on repeated consecutive failures: do not
+        # hammer a grid that keeps killing us the moment we launch.
+        if attempt >= 2:
+            wait = self.retry_backoff_seconds * 2 ** (attempt - 2)
+            self.retry_waits += 1
+            if trace is not None and "fault" in trace.active:
+                trace.instant("fault", "retry-wait", app=self.name,
+                              seconds=wait, attempt=attempt)
+            yield self.sim.timeout(wait)
+        # Pick restart resources, waiting out total outages: when every
+        # candidate cluster is down the mapper raises, and we retry on
+        # the same bounded/backed-off budget until something recovers.
+        while True:
+            dead = [name for name in self._hosts
+                    if not self.gis.host(name).alive]
+            try:
+                self._hosts = self.propose_hosts(exclude=dead)
+                return
+            except RuntimeError:
+                attempt += 1
+                if attempt > self.max_restart_attempts:
+                    raise RuntimeError(
+                        f"{self.name}: no candidate resources after "
+                        f"{self.max_restart_attempts} attempts")
+                wait = self.retry_backoff_seconds * 2 ** max(attempt - 2, 0)
+                self.retry_waits += 1
+                if trace is not None and "fault" in trace.active:
+                    trace.instant("fault", "retry-wait", app=self.name,
+                                  seconds=wait, attempt=attempt)
+                yield self.sim.timeout(wait)
 
     def _track_progress(self, job: MpiJob) -> None:
         per_step: Dict[int, int] = {}

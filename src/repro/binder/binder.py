@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence
 
 from ..gis.directory import GridInformationService
 from ..gis.software import SoftwareNotFound, SoftwareRegistry
+from ..microgrid.host import HostFailure
 from ..microgrid.network import Topology
 from ..sim.events import AllOf, Event
 from ..sim.kernel import Simulator
@@ -95,6 +96,13 @@ class DistributedBinder:
                                 name=f"binder:{cop.name}")
 
     def _run(self, cop: ConfigurableObjectProgram, host_names: List[str]):
+        # A target that is already down fails the bind before any IR
+        # ships; one that dies *during* the bind fails its local binder
+        # mid-flight instead.
+        for name in host_names:
+            host = self.gis.host(name)
+            if not host.alive:
+                raise HostFailure(host.name)
         report = BindReport(hosts=host_names, started_at=self.sim.now,
                             finished_at=self.sim.now)
         local_binders = [
@@ -102,7 +110,15 @@ class DistributedBinder:
                              name=f"localbinder:{name}")
             for name in host_names
         ]
-        yield AllOf(self.sim, local_binders)
+        try:
+            yield AllOf(self.sim, local_binders)
+        except Exception:
+            # Reap the surviving local binders: once the bind has
+            # failed, a sibling failing later would have no waiter and
+            # would abort the whole simulation.
+            for proc in local_binders:
+                proc.kill()
+            raise
         report.finished_at = self.sim.now
         return report
 

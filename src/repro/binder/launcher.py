@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..gis.directory import GridInformationService
+from ..microgrid.host import HostFailure
 from ..microgrid.network import Topology
 from ..mpi.comm import MpiJob
 from ..sim.events import Event
@@ -53,10 +54,21 @@ class Launcher:
         Returns a process-event whose value is a :class:`LaunchHandle`;
         it triggers once the application has *started* (after the MPI
         synchronization), with ``handle.finished`` tracking completion.
+
+        Refuses to launch onto a dead host: raises
+        :class:`HostFailure` synchronously so the caller's retry logic
+        sees the problem before any MPI startup time is billed.
         """
         if not host_names:
             raise ValueError("empty host list")
         hosts = [self.gis.host(name) for name in host_names]
+        for host in hosts:
+            if not host.alive:
+                trace = self.sim.trace
+                if trace is not None and "fault" in trace.active:
+                    trace.instant("fault", "launch-refused", host=host.name,
+                                  cop=cop.name)
+                raise HostFailure(host.name)
         return self.sim.process(self._run(cop, hosts, body),
                                 name=f"launch:{cop.name}")
 

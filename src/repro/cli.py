@@ -8,6 +8,8 @@
     python -m repro opportunistic
     python -m repro describe path/to/grid.dml
     python -m repro bench --compare
+    python -m repro faults run --seed 0 --mtbf 300,900 --json
+    python -m repro faults report campaign.json
     python -m repro trace diff a.trace.json b.trace.json
     python -m repro lint --format json --baseline simlint-baseline.json
 
@@ -33,6 +35,7 @@ from typing import List, Optional, Sequence
 
 from . import __version__
 from .experiments.eman_demo import run_eman_demo
+from .experiments.faults_campaign import campaign_tables, run_faults_campaign
 from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
 from .experiments.fig4_swap import run_fig4
 from .experiments.opportunistic import run_opportunistic
@@ -43,6 +46,7 @@ from .experiments.scheduler_bench import (
 )
 from .experiments.substrate import run_substrate_bench
 from .experiments.common import format_table
+from .faults.campaign import CampaignSpec
 from .microgrid.dml import parse_grid
 from .rescheduling.swapping import SWAP_POLICIES
 from .sim.kernel import Simulator
@@ -148,6 +152,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule ids to skip")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection campaigns (MTBF/MTTR sweep + "
+                       "scripted kill scenarios)")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    frun = faults_sub.add_parser(
+        "run", help="run a campaign; same seed => byte-identical JSON")
+    frun.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (per-cell injector seeds are "
+                           "derived from it)")
+    frun.add_argument("--mtbf", default="400,1200",
+                      help="comma-separated MTBF grid (seconds)")
+    frun.add_argument("--mttr", default="90",
+                      help="comma-separated MTTR grid (seconds)")
+    frun.add_argument("--trials", type=int, default=2,
+                      help="trials per grid cell")
+    frun.add_argument("--n", type=int, default=6000, help="QR matrix size")
+    frun.add_argument("--checkpoint-every", type=int, default=5,
+                      help="periodic checkpoint interval (panel steps)")
+    frun.add_argument("--deadline", type=float, default=20000.0,
+                      help="per-trial simulated-time budget (seconds)")
+    frun.add_argument("--no-scenarios", action="store_true",
+                      help="skip the scripted kill scenarios")
+    frun.add_argument("--json", action="store_true",
+                      help="emit the deterministic report JSON on stdout")
+    frun.add_argument("--out", metavar="PATH", default=None,
+                      help="also write the report JSON to PATH")
+    _add_trace_option(frun)
+
+    freport = faults_sub.add_parser(
+        "report", help="render a saved campaign report as tables "
+                       "(exit 1 if any scenario failed)")
+    freport.add_argument("path", help="report JSON from `faults run --out`")
 
     trace = sub.add_parser("trace", help="inspect exported trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -396,6 +434,49 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _parse_grid_values(text: str, flag: str) -> tuple:
+    try:
+        values = tuple(float(v) for v in text.split(",") if v)
+    except ValueError:
+        raise ValueError(f"bad {flag} value: {text!r}") from None
+    if not values:
+        raise ValueError(f"need at least one {flag} value")
+    return values
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command == "report":
+        with open(args.path) as handle:
+            report = json.load(handle)
+        print(campaign_tables(report))
+        failed = [s for s in report["scenarios"] if not s["passed"]]
+        return 1 if failed else 0
+    try:
+        spec = CampaignSpec(
+            mtbf_grid=_parse_grid_values(args.mtbf, "--mtbf"),
+            mttr_grid=_parse_grid_values(args.mttr, "--mttr"),
+            trials=args.trials, seed=args.seed, n=args.n,
+            checkpoint_every=args.checkpoint_every, deadline=args.deadline)
+    except ValueError as exc:
+        print(f"repro faults: {exc}", file=sys.stderr)
+        return 2
+    tracer = _make_tracer(args)
+    result = run_faults_campaign(spec, with_scenarios=not args.no_scenarios,
+                                 tracer=tracer)
+    _export(tracer, args)
+    payload = result.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(campaign_tables(result.report()))
+    failed = [s for s in result.scenarios if not s["passed"]]
+    return 1 if failed else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "diff":
         divergence = diff_files(args.a, args.b)
@@ -428,6 +509,7 @@ _COMMANDS = {
     "opportunistic": _cmd_opportunistic,
     "describe": _cmd_describe,
     "bench": _cmd_bench,
+    "faults": _cmd_faults,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
 }

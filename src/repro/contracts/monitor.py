@@ -83,15 +83,29 @@ class ContractMonitor:
         is governed by its slowest rank, so the monitor keeps the max
         over ranks for each phase and evaluates when the phase is fully
         reported.
+
+        Failure hardening: ranks are tracked per phase as a *set* (a
+        rank re-reporting an iteration — e.g. replaying steps after an
+        SRS checkpoint restart — cannot overshoot the ``>= job.size``
+        completion test), evaluated phases are popped so the pending map
+        stays bounded, and re-reports of an already-evaluated phase are
+        ignored as stale.
         """
-        phase_seen: dict = {}
+        pending: dict = {}  # iteration -> (worst seconds, ranks reported)
+        watermark = -1  # highest iteration already evaluated
 
         def on_iteration(rank: int, iteration: int, seconds: float) -> None:
-            worst, count = phase_seen.get(iteration, (0.0, 0))
-            worst = max(worst, seconds)
-            count += 1
-            phase_seen[iteration] = (worst, count)
-            if count == job.size:
+            nonlocal watermark
+            if iteration not in pending and iteration <= watermark:
+                return  # stale re-report of an evaluated phase
+            worst, ranks = pending.setdefault(iteration, (0.0, set()))
+            if rank in ranks:
+                return  # duplicate report from the same rank
+            ranks.add(rank)
+            pending[iteration] = (max(worst, seconds), ranks)
+            if len(ranks) >= job.size:
+                worst, _ranks = pending.pop(iteration)
+                watermark = max(watermark, iteration)
                 self.report_phase(iteration, worst)
 
         job.on_iteration(on_iteration)
@@ -151,11 +165,15 @@ class ContractMonitor:
             migrated = bool(self.rescheduler(request))
         if not migrated:
             # Rescheduler declined: accept the new normal so the monitor
-            # does not re-fire every phase on the same condition.
+            # does not re-fire every phase on the same condition.  Only
+            # log an adjustment when the live limit actually moves — an
+            # append for new_upper <= upper would make the adjustment
+            # log disagree with self.upper.
             new_upper = average * self.adjust_margin
-            self.limit_adjustments.append(
-                (self.sim.now, self.upper, new_upper))
-            self.upper = max(self.upper, new_upper)
+            if new_upper > self.upper:
+                self.limit_adjustments.append(
+                    (self.sim.now, self.upper, new_upper))
+                self.upper = new_upper
 
     def _confirmed_fast(self, phase: int, ratio: float,
                         average: float) -> None:

@@ -1,0 +1,67 @@
+"""Fault-injection campaign experiment driver (``repro faults``).
+
+Thin presentation layer over :mod:`repro.faults`: builds the campaign,
+and renders its deterministic report as the CLI's tables.  All actual
+mechanics — the MTBF/MTTR sweep, the scripted kill scenarios, the
+recovery bookkeeping — live in the faults package.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..faults.campaign import CampaignResult, CampaignSpec, run_campaign
+from .common import format_table
+
+__all__ = ["run_faults_campaign", "campaign_tables"]
+
+
+def run_faults_campaign(spec: CampaignSpec, with_scenarios: bool = True,
+                        tracer=None) -> CampaignResult:
+    """Run the sweep (and scenarios) for the CLI."""
+    return run_campaign(spec, with_scenarios=with_scenarios, tracer=tracer)
+
+
+def _cell_rows(report: dict) -> List[list]:
+    rows = []
+    for cell in report["cells"]:
+        rows.append([
+            cell["mtbf"], cell["mttr"], cell["trial"], cell["outcome"],
+            cell["wall_seconds"], f"{cell['steps_done']}/{cell['steps_total']}",
+            cell["goodput_mflops"], cell["injected_failures"],
+            cell["failures_recovered"], cell["retry_waits"],
+            cell["migrations"], cell["aborted_migrations"],
+        ])
+    return rows
+
+
+def _scenario_rows(report: dict) -> List[list]:
+    rows = []
+    for scenario in report["scenarios"]:
+        rows.append([
+            scenario["name"], "pass" if scenario["passed"] else "FAIL",
+            scenario["wall_seconds"], scenario["failures_recovered"],
+            scenario["retry_waits"], scenario["aborted_migrations"],
+            ",".join(scenario["migrating_leaked"]) or "-",
+        ])
+    return rows
+
+
+def campaign_tables(report: dict) -> str:
+    """Render a campaign report dict as the CLI's text output."""
+    summary = report["summary"]
+    parts = [format_table(
+        ["mtbf", "mttr", "trial", "outcome", "wall (s)", "steps",
+         "goodput (Mflop/s)", "injected", "recovered", "retries",
+         "migrations", "aborted"],
+        _cell_rows(report),
+        title=f"fault campaign: {summary['trials']} trials, completion "
+              f"rate {summary['completion_rate']:.2f}")]
+    if report["scenarios"]:
+        parts.append(format_table(
+            ["scenario", "result", "wall (s)", "recovered", "retries",
+             "aborted migrations", "leaked"],
+            _scenario_rows(report),
+            title=f"kill scenarios: {summary['scenarios_passed']}/"
+                  f"{summary['scenarios_total']} passed"))
+    return "\n\n".join(parts)

@@ -1,0 +1,33 @@
+"""Fault-injection campaigns over the GrADS reproduction.
+
+The paper names fault tolerance as the VGrADS follow-on's headline
+capability (§5); this package is the measurement harness for it: a
+campaign runner that sweeps MTBF/MTTR grids of seeded random failure
+injection over the managed QR pipeline, plus scripted kill scenarios
+that pin down the recovery paths (host death mid-migration, loss of
+every candidate cluster, repeated crash/recover churn).
+"""
+
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    cell_seed,
+    run_campaign,
+    run_cell,
+)
+from .scenarios import (
+    SCENARIOS,
+    run_scenario,
+    run_scenarios,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "SCENARIOS",
+    "cell_seed",
+    "run_campaign",
+    "run_cell",
+    "run_scenario",
+    "run_scenarios",
+]

@@ -1,0 +1,197 @@
+"""The fault-injection campaign runner.
+
+A campaign sweeps a grid of (MTBF, MTTR) points; each grid cell runs
+``trials`` independent managed QR executions on a fresh §4.1.2 testbed
+with a seeded :class:`~repro.microgrid.failures.RandomFailureInjector`
+driving every host except the submission/stable-storage node.  Per-cell
+seeds are derived arithmetically from the campaign seed, so the whole
+report is a pure function of the spec: two runs with equal specs
+produce byte-identical JSON (the CI smoke job ``cmp``'s them).
+
+Reported per trial: completion, goodput (useful Mflop per simulated
+second), injected failures, recoveries and their checkpoint-restart
+latencies, migrations, rescheduler decisions and aborted migrations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+from ..appmanager.manager import GradsEnvironment
+from ..apps.qr import QrBenchmark
+from ..microgrid.failures import RandomFailureInjector
+from ..microgrid.testbed import fig3_testbed
+from ..sim.kernel import Simulator
+
+__all__ = ["CampaignSpec", "CampaignResult", "cell_seed", "run_cell",
+           "run_campaign"]
+
+#: the node that submits the job and hosts SRS stable storage; it is
+#: never handed to the failure injector (a campaign measures recovery,
+#: not loss of the recovery substrate itself)
+SUBMISSION_HOST = "utk.n3"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a campaign's outcome."""
+
+    mtbf_grid: tuple = (400.0, 1200.0)
+    mttr_grid: tuple = (90.0,)
+    trials: int = 2
+    seed: int = 0
+    n: int = 6000
+    nb: int = 200
+    checkpoint_every: int = 5
+    deadline: float = 20000.0
+    migration_timeout_seconds: float = 3600.0
+    blacklist_seconds: float = 600.0
+    max_restart_attempts: int = 8
+    retry_backoff_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.mtbf_grid or not self.mttr_grid:
+            raise ValueError("need at least one MTBF and one MTTR value")
+        if any(v <= 0 for v in self.mtbf_grid + self.mttr_grid):
+            raise ValueError("MTBF/MTTR values must be positive")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def cells(self) -> List[tuple]:
+        """The (mtbf, mttr) grid, in deterministic sweep order."""
+        return [(mtbf, mttr)
+                for mtbf in self.mtbf_grid for mttr in self.mttr_grid]
+
+
+def cell_seed(spec: CampaignSpec, cell_index: int, trial: int) -> int:
+    """Derived injector seed: unique per (campaign seed, cell, trial)."""
+    return spec.seed * 1_000_003 + cell_index * 10_007 + trial
+
+
+def run_cell(spec: CampaignSpec, mtbf: float, mttr: float, trial: int,
+             seed: int, tracer=None) -> dict:
+    """One trial: managed QR under random failure injection."""
+    sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="faults", mtbf=mtbf,
+                       mttr=mttr, trial=trial, seed=seed)
+    grid = fig3_testbed(sim)
+    env = GradsEnvironment(sim, grid, submission_host=SUBMISSION_HOST)
+    benchmark = QrBenchmark(n=spec.n, nb=spec.nb)
+    initial = grid.clusters["utk"].host_names()[:3]
+    run, monitor, rescheduler = env.managed_qr(
+        benchmark, initial_hosts=initial,
+        rescheduler_mode="default",
+        checkpoint_every=spec.checkpoint_every,
+        stable_storage=True,
+        max_restart_attempts=spec.max_restart_attempts,
+        retry_backoff_seconds=spec.retry_backoff_seconds,
+        migration_timeout_seconds=spec.migration_timeout_seconds,
+        blacklist_seconds=spec.blacklist_seconds)
+    injector = RandomFailureInjector(
+        [h for h in grid.all_hosts() if h.name != SUBMISSION_HOST],
+        mtbf=mtbf, mttr=mttr, seed=seed)
+    injector.install(sim)
+    finished = run.start()
+    error: Optional[str] = None
+    try:
+        sim.run(until=spec.deadline, stop_event=finished)
+    except RuntimeError as exc:  # includes HostFailure
+        error = f"{type(exc).__name__}: {exc}"
+    completed = bool(finished.triggered and finished.ok)
+    if completed:
+        outcome = "completed"
+    elif error is not None:
+        outcome = "failed"
+    else:
+        outcome = "deadline"
+    done_mflop = sum(benchmark.step_mflop(j) for j in range(run.progress))
+    latencies = sorted(
+        r["restarted_at"] - r["crashed_at"]
+        for r in run.recoveries if r.get("restarted_at") is not None)
+    return {
+        "mtbf": mtbf,
+        "mttr": mttr,
+        "trial": trial,
+        "seed": seed,
+        "outcome": outcome,
+        "completed": completed,
+        "error": error,
+        "wall_seconds": sim.now,
+        "steps_done": run.progress,
+        "steps_total": benchmark.steps,
+        "goodput_mflops": done_mflop / sim.now if sim.now > 0 else 0.0,
+        "injected_failures": len(injector.failures),
+        "failures_recovered": run.failures_recovered,
+        "retry_waits": run.retry_waits,
+        "migrations": run.migrations,
+        "reschedule_decisions": len(rescheduler.decisions),
+        "aborted_migrations": rescheduler.aborted_migrations,
+        "migrating_leaked": sorted(rescheduler._migrating),
+        "restart_latencies": {
+            "count": len(latencies),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max": latencies[-1] if latencies else 0.0,
+        },
+    }
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: per-trial rows plus scenario outcomes."""
+
+    spec: CampaignSpec
+    cells: List[dict] = field(default_factory=list)
+    scenarios: List[dict] = field(default_factory=list)
+
+    def completion_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(1 for c in self.cells if c["completed"]) / len(self.cells)
+
+    def report(self) -> dict:
+        return {
+            "spec": asdict(self.spec),
+            "cells": self.cells,
+            "scenarios": self.scenarios,
+            "summary": {
+                "trials": len(self.cells),
+                "completion_rate": self.completion_rate(),
+                "total_injected_failures": sum(
+                    c["injected_failures"] for c in self.cells),
+                "total_recoveries": sum(
+                    c["failures_recovered"] for c in self.cells),
+                "total_migrations": sum(
+                    c["migrations"] for c in self.cells),
+                "total_aborted_migrations": sum(
+                    c["aborted_migrations"] for c in self.cells),
+                "scenarios_passed": sum(
+                    1 for s in self.scenarios if s["passed"]),
+                "scenarios_total": len(self.scenarios),
+            },
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: equal specs => equal bytes."""
+        return json.dumps(self.report(), sort_keys=True)
+
+
+def run_campaign(spec: CampaignSpec, with_scenarios: bool = True,
+                 tracer=None) -> CampaignResult:
+    """Run the full grid sweep (and, by default, the kill scenarios)."""
+    from .scenarios import run_scenarios
+
+    result = CampaignResult(spec=spec)
+    for cell_index, (mtbf, mttr) in enumerate(spec.cells()):
+        for trial in range(spec.trials):
+            seed = cell_seed(spec, cell_index, trial)
+            result.cells.append(
+                run_cell(spec, mtbf, mttr, trial, seed, tracer=tracer))
+    if with_scenarios:
+        result.scenarios = run_scenarios(tracer=tracer)
+    return result

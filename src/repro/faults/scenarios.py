@@ -1,0 +1,199 @@
+"""Scripted kill scenarios for the recovery paths.
+
+Unlike the stochastic campaign grid, each scenario stages one specific
+failure the hardening work targets and checks the invariants that used
+to break:
+
+* ``host-death-mid-migration`` — a source host dies while the job is
+  checkpointing for a rescheduler-ordered migration.  The migration
+  event must fail (not hang), the rescheduler must abandon the attempt
+  (``_migrating`` empty, targets blacklisted), and the run must still
+  complete via checkpoint restart.
+* ``candidate-set-wipeout`` — every host of every candidate cluster
+  dies at once; resource selection finds nothing.  The manager must
+  wait out the outage with bounded exponential backoff and finish once
+  a cluster recovers, instead of dying on the mapper's RuntimeError.
+* ``crash-recover-churn`` — the contract-monitored job's hosts crash
+  and recover repeatedly.  Every crash must restart from checkpoint,
+  and the monitor must stay sane across re-attached segments.
+
+Every scenario is fully scripted (no RNG), so its result dict is
+deterministic down to the byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..appmanager.manager import GradsEnvironment
+from ..apps.qr import QrBenchmark
+from ..microgrid.failures import ScheduledFailure
+from ..microgrid.loadgen import ScheduledLoad
+from ..microgrid.testbed import fig3_testbed
+from ..sim.kernel import Simulator
+
+__all__ = ["SCENARIOS", "run_scenario", "run_scenarios"]
+
+_SUBMISSION = "utk.n3"
+_DEADLINE = 40000.0
+
+
+def _build(sim: Simulator, n: int, mode: str, checkpoint_every: int,
+           migration_timeout: float = 3600.0):
+    grid = fig3_testbed(sim)
+    env = GradsEnvironment(sim, grid, submission_host=_SUBMISSION)
+    benchmark = QrBenchmark(n=n, nb=200)
+    initial = grid.clusters["utk"].host_names()[:3]
+    run, monitor, rescheduler = env.managed_qr(
+        benchmark, initial_hosts=initial, rescheduler_mode=mode,
+        checkpoint_every=checkpoint_every, stable_storage=True,
+        migration_timeout_seconds=migration_timeout,
+        blacklist_seconds=600.0)
+    return grid, env, run, monitor, rescheduler
+
+
+def _finish(sim: Simulator, finished, run, rescheduler) -> dict:
+    error = None
+    try:
+        sim.run(until=_DEADLINE, stop_event=finished)
+    except RuntimeError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "completed": bool(finished.triggered and finished.ok),
+        "error": error,
+        "wall_seconds": sim.now,
+        "failures_recovered": run.failures_recovered,
+        "retry_waits": run.retry_waits,
+        "migrations": run.migrations,
+        "aborted_migrations": rescheduler.aborted_migrations,
+        "migrating_leaked": sorted(rescheduler._migrating),
+        "blacklisted": rescheduler.blacklisted_hosts(),
+    }
+
+
+def host_death_mid_migration(tracer=None) -> dict:
+    """Kill a source host during the checkpoint-for-migration write."""
+    sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="faults",
+                       scenario="host-death-mid-migration")
+    grid, env, run, monitor, rescheduler = _build(
+        sim, n=8000, mode="force-migrate", checkpoint_every=4)
+    # The §4.1.2 trigger: artificial load lands on one UTK node, the
+    # monitor confirms the violation and the rescheduler orders a
+    # migration to UIUC.
+    ScheduledLoad(host=grid.clusters["utk"][0], at=300.0,
+                  nprocs=8).install(sim)
+
+    def assassin():
+        # Strike the moment the migration is in flight (the stop has
+        # been requested, ranks are checkpointing toward the move).
+        while True:
+            yield sim.timeout(2.0)
+            if run._migration_target is not None:
+                victim = env.gis.host("utk.n0")
+                if victim.alive:
+                    victim.fail()
+                return
+
+    sim.process(assassin(), name="scenario:assassin")
+    finished = run.start()
+    result = _finish(sim, finished, run, rescheduler)
+    result["name"] = "host-death-mid-migration"
+    result["passed"] = (result["completed"]
+                        and result["failures_recovered"] >= 1
+                        and result["aborted_migrations"] >= 1
+                        and not result["migrating_leaked"])
+    return result
+
+
+def candidate_set_wipeout(tracer=None) -> dict:
+    """Kill every host of every candidate cluster at once."""
+    sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="faults",
+                       scenario="candidate-set-wipeout")
+    grid, env, run, monitor, rescheduler = _build(
+        sim, n=6000, mode="force-stay", checkpoint_every=3)
+    # At t=150 the job's three UTK hosts die for good and all of UIUC
+    # goes down too; only the submission host survives, and no cluster
+    # has the >= 2 live hosts resource selection demands.  UIUC comes
+    # back at t=600 — within the backoff budget.
+    for name in grid.clusters["utk"].host_names()[:3]:
+        ScheduledFailure(host=env.gis.host(name), at=150.0).install(sim)
+    for name in grid.clusters["uiuc"].host_names():
+        ScheduledFailure(host=env.gis.host(name), at=150.0,
+                         recover_at=600.0).install(sim)
+    finished = run.start()
+    result = _finish(sim, finished, run, rescheduler)
+    result["name"] = "candidate-set-wipeout"
+    result["passed"] = (result["completed"]
+                        and result["failures_recovered"] >= 1
+                        and result["retry_waits"] >= 1)
+    return result
+
+
+def crash_recover_churn(tracer=None) -> dict:
+    """Crash and recover the monitored job's hosts again and again."""
+    sim = Simulator()
+    if tracer is not None:
+        tracer.bind(sim)
+        tracer.instant("meta", "run", experiment="faults",
+                       scenario="crash-recover-churn")
+    grid, env, run, monitor, rescheduler = _build(
+        sim, n=6000, mode="default", checkpoint_every=3)
+    # Three crash/recover cycles, each striking a host the job occupies
+    # *at that moment* — restarts may hop clusters, so the victim is
+    # chosen live rather than scripted by name.
+    victims: List[str] = []
+
+    def churn():
+        yield sim.timeout(80.0)
+        for _cycle in range(3):
+            if run.finished is not None and run.finished.triggered:
+                return
+            victim = None
+            for name in run.current_hosts():
+                host = env.gis.host(name)
+                if host.alive and name != _SUBMISSION:
+                    victim = host
+                    break
+            if victim is None:
+                return
+            victim.fail()
+            victims.append(victim.name)
+            yield sim.timeout(40.0)
+            if not victim.alive:
+                victim.recover()
+            yield sim.timeout(110.0)
+
+    sim.process(churn(), name="scenario:churn")
+    finished = run.start()
+    result = _finish(sim, finished, run, rescheduler)
+    result["name"] = "crash-recover-churn"
+    result["victims"] = victims
+    result["monitor_ratios"] = len(monitor.ratios)
+    result["passed"] = (result["completed"]
+                        and result["failures_recovered"] >= 2
+                        and not result["migrating_leaked"])
+    return result
+
+
+#: scenario registry, in report order
+SCENARIOS: Dict[str, Callable[..., dict]] = {
+    "host-death-mid-migration": host_death_mid_migration,
+    "candidate-set-wipeout": candidate_set_wipeout,
+    "crash-recover-churn": crash_recover_churn,
+}
+
+
+def run_scenario(name: str, tracer=None) -> dict:
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}")
+    return SCENARIOS[name](tracer=tracer)
+
+
+def run_scenarios(tracer=None) -> List[dict]:
+    return [fn(tracer=tracer) for fn in SCENARIOS.values()]

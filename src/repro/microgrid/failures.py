@@ -24,7 +24,15 @@ __all__ = ["HostFailure", "ScheduledFailure", "RandomFailureInjector"]
 
 @dataclass
 class ScheduledFailure:
-    """Crash a host at a fixed time, optionally recovering later."""
+    """Crash a host at a fixed time, optionally recovering later.
+
+    The kill and the recovery are tolerant of interleaving with other
+    failure sources (another :class:`ScheduledFailure`, a
+    :class:`RandomFailureInjector`): a host that is already down at
+    ``at`` stays down, and a host already recovered by someone else at
+    ``recover_at`` stays up, instead of raising mid-callback and
+    aborting the whole simulation.
+    """
 
     host: Host
     at: float
@@ -33,9 +41,17 @@ class ScheduledFailure:
     def install(self, sim: Simulator) -> None:
         if self.recover_at is not None and self.recover_at <= self.at:
             raise ValueError("recovery must come after the failure")
-        sim.call_at(self.at, self.host.fail)
+        sim.call_at(self.at, self._fail)
         if self.recover_at is not None:
-            sim.call_at(self.recover_at, self.host.recover)
+            sim.call_at(self.recover_at, self._recover)
+
+    def _fail(self) -> None:
+        if self.host.alive:
+            self.host.fail()
+
+    def _recover(self) -> None:
+        if not self.host.alive:
+            self.host.recover()
 
 
 class RandomFailureInjector:
@@ -77,9 +93,22 @@ class RandomFailureInjector:
     def _drive(self, sim: Simulator, host: Host):
         while True:
             yield sim.timeout(float(self.rng.exponential(self.mtbf)))
+            injected = False
             if host.alive:
                 host.fail()
+                injected = True
                 self.failures.append((sim.now, host.name))
+                trace = sim.trace
+                if trace is not None and "fault" in trace.active:
+                    trace.instant("fault", "inject", host=host.name,
+                                  mtbf=self.mtbf, mttr=self.mttr)
             yield sim.timeout(float(self.rng.exponential(self.mttr)))
-            if not host.alive:
+            # Only repair a failure *this* injector caused: a host that a
+            # ScheduledFailure (or another injector) deliberately left
+            # down must stay down, and a host someone else already
+            # recovered must not be double-recovered.
+            if injected and not host.alive:
                 host.recover()
+                trace = sim.trace
+                if trace is not None and "fault" in trace.active:
+                    trace.instant("fault", "repair", host=host.name)

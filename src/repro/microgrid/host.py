@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..sim.events import Event
 from ..sim.kernel import Simulator
@@ -122,6 +122,10 @@ class Host:
         self.alive = True
         #: crash count, for availability accounting
         self.failures = 0
+        #: called with this host on every fail() — how higher layers
+        #: (e.g. MPI jobs) learn of a crash even when nothing they own
+        #: is computing here at that instant
+        self._fail_listeners: List[Callable[["Host"], None]] = []
 
     # -- derived properties -------------------------------------------------
     @property
@@ -216,9 +220,23 @@ class Host:
         self.failures += 1
         victims, self._tasks = self._tasks, []
         self._epoch += 1  # invalidate pending completion wake-ups
+        trace = self.sim.trace
+        if trace is not None and "fault" in trace.active:
+            trace.instant("fault", "host-down", host=self.name,
+                          killed_tasks=sum(1 for t in victims
+                                           if t.event is not None))
         for task in victims:
             if task.event is not None:
                 task.event.fail(HostFailure(self.name))
+        # Notify after the task events so a direct compute failure is
+        # delivered to its waiter first; listener-driven deaths are the
+        # fallback for processes blocked elsewhere (e.g. on a transfer).
+        for listener in list(self._fail_listeners):
+            listener(self)
+
+    def on_fail(self, listener: Callable[["Host"], None]) -> None:
+        """Subscribe ``listener(host)`` to this host's crashes."""
+        self._fail_listeners.append(listener)
 
     def recover(self) -> None:
         """Bring a crashed host back, empty and idle."""
@@ -226,6 +244,9 @@ class Host:
             raise ValueError(f"host {self.name} is not down")
         self.alive = True
         self._last_update = self.sim.now
+        trace = self.sim.trace
+        if trace is not None and "fault" in trace.active:
+            trace.instant("fault", "host-up", host=self.name)
 
     def estimate_seconds(self, mflop: float, assume_share: Optional[float] = None
                          ) -> float:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from ..microgrid.host import Host
+from ..microgrid.host import Host, HostFailure
 from ..microgrid.network import Topology
 from ..sim.events import AllOf, Event
 from ..sim.kernel import Simulator
@@ -77,6 +77,7 @@ class MpiJob:
                                              for _ in hosts]
         self._iteration_listeners: List[Callable[[int, int, float], None]] = []
         self._procs: List = []
+        self._watched_hosts: List[Host] = []
         self.finished: Optional[Event] = None
 
     @property
@@ -91,6 +92,8 @@ class MpiJob:
         """Re-map a rank to a different host (used by process swapping)."""
         self._check_rank(rank)
         self._rank_hosts[rank] = host
+        if self._procs:
+            self._watch_host(host)
 
     def hosts(self) -> List[Host]:
         return list(self._rank_hosts)
@@ -110,9 +113,31 @@ class MpiJob:
             ctx = MpiContext(self, rank)
             proc = self.sim.process(body(ctx), name=f"{self.name}:r{rank}")
             self._procs.append(proc)
+        for host in self._rank_hosts:
+            self._watch_host(host)
         self.finished = AllOf(self.sim, self._procs,
                               name=f"{self.name}:finished")
         return self.finished
+
+    def _watch_host(self, host: Host) -> None:
+        """Arrange for this host's crashes to kill the ranks on it.
+
+        A failing compute task already reaches its rank, but a rank
+        blocked on a transfer, a recv, or a collective has nothing on
+        the host's CPU — without the watch it would sail through its
+        own machine's death (e.g. keep checkpointing off a dead node).
+        """
+        if any(h is host for h in self._watched_hosts):
+            return
+        self._watched_hosts.append(host)
+        host.on_fail(self._on_host_fail)
+
+    def _on_host_fail(self, host: Host) -> None:
+        for rank, rank_host in enumerate(self._rank_hosts):
+            if rank_host is host and rank < len(self._procs):
+                proc = self._procs[rank]
+                if proc.is_alive:
+                    proc.throw(HostFailure(host.name))
 
     # -- instrumentation -------------------------------------------------------
     def on_iteration(self, listener: Callable[[int, int, float], None]) -> None:

@@ -25,8 +25,9 @@ experiments can measure both sides of every case.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..contracts.monitor import MigrationRequest
 from ..gis.directory import GridInformationService
@@ -96,13 +97,31 @@ class MigrationEvaluation:
 
 @dataclass(frozen=True)
 class DecisionRecord:
-    """One rescheduling decision, for experiment traces."""
+    """One rescheduling decision, for experiment traces.
+
+    ``trigger`` is ``"request"`` or ``"opportunistic"`` for ordinary
+    cost/benefit decisions; failure paths append records with
+    ``"migration-failed"`` (``app.migrate()`` raised or the migration
+    event failed) or ``"migration-timeout"`` (the migration event never
+    triggered within the configured timeout), always with
+    ``migrated=False``.
+    """
 
     time: float
     app: str
-    trigger: str  # "request" or "opportunistic"
+    trigger: str
     evaluation: MigrationEvaluation
     migrated: bool
+
+
+@dataclass
+class _Inflight:
+    """Book-keeping for one migration attempt in progress."""
+
+    token: int
+    new_hosts: tuple
+    evaluation: MigrationEvaluation
+    trigger: str
 
 
 class Rescheduler:
@@ -112,22 +131,46 @@ class Rescheduler:
                  nws: NetworkWeatherService,
                  mode: str = "default",
                  worst_case_migration_seconds: Optional[float] = 900.0,
-                 min_benefit_seconds: float = 0.0) -> None:
+                 min_benefit_seconds: float = 0.0,
+                 migration_timeout_seconds: Optional[float] = None,
+                 blacklist_seconds: Optional[float] = None) -> None:
         """``mode``: "default" (cost/benefit), "force-migrate",
         "force-stay".  ``worst_case_migration_seconds`` replaces the
         application's own migration estimate when not None — the
-        paper's pessimistic assumption."""
+        paper's pessimistic assumption.
+
+        ``migration_timeout_seconds`` bounds how long a started
+        migration may stay in flight: if the app's migration event has
+        not triggered by then (e.g. the event was lost to a host
+        crash), the rescheduler *abandons* the attempt — the app is
+        removed from the in-flight set so future rescheduling is not
+        wedged — and *blacklists* the target hosts.  ``None`` (default)
+        disables the timeout.  Blacklisted hosts are excluded from
+        candidate sets for ``blacklist_seconds`` (``None`` = forever).
+        """
         if mode not in ("default", "force-migrate", "force-stay"):
             raise ValueError(f"unknown mode {mode!r}")
+        if migration_timeout_seconds is not None \
+                and migration_timeout_seconds <= 0:
+            raise ValueError("migration_timeout_seconds must be positive")
+        if blacklist_seconds is not None and blacklist_seconds <= 0:
+            raise ValueError("blacklist_seconds must be positive")
         self.sim = sim
         self.gis = gis
         self.nws = nws
         self.mode = mode
         self.worst_case_migration_seconds = worst_case_migration_seconds
         self.min_benefit_seconds = min_benefit_seconds
+        self.migration_timeout_seconds = migration_timeout_seconds
+        self.blacklist_seconds = blacklist_seconds
         self.decisions: List[DecisionRecord] = []
+        #: migration attempts abandoned on failure or timeout
+        self.aborted_migrations = 0
         self._apps: List[MigratableApp] = []
         self._migrating: set = set()
+        self._inflight: Dict[str, _Inflight] = {}
+        self._migration_seq = 0
+        self._blacklist: Dict[str, float] = {}  # host -> expiry sim-time
 
     # -- registry --------------------------------------------------------------
     def manage(self, app: MigratableApp) -> None:
@@ -145,7 +188,8 @@ class Rescheduler:
         current = list(app.current_hosts())
         try:
             new_hosts = list(candidate_hosts) if candidate_hosts is not None \
-                else app.propose_hosts(exclude=current)
+                else app.propose_hosts(
+                    exclude=current + self.blacklisted_hosts())
         except Exception:
             return None
         if not new_hosts or set(new_hosts) == set(current):
@@ -201,8 +245,9 @@ class Rescheduler:
             time=self.sim.now, app=app.name, trigger="request",
             evaluation=evaluation, migrated=migrate))
         if migrate:
-            self._start_migration(app, list(evaluation.new_hosts))
-        return migrate
+            return self._start_migration(app, list(evaluation.new_hosts),
+                                         evaluation, "request")
+        return False
 
     # -- opportunistic rescheduling ------------------------------------------------
     def start_opportunistic(self, period: float = 60.0) -> None:
@@ -238,11 +283,95 @@ class Rescheduler:
                     trigger="opportunistic", evaluation=evaluation,
                     migrated=migrate))
                 if migrate:
-                    self._start_migration(app, list(evaluation.new_hosts))
+                    self._start_migration(app, list(evaluation.new_hosts),
+                                          evaluation, "opportunistic")
+
+    # -- blacklist ---------------------------------------------------------------
+    def blacklisted_hosts(self) -> List[str]:
+        """Hosts currently excluded from candidate sets (sorted)."""
+        now = self.sim.now
+        expired = [h for h, until in self._blacklist.items() if until <= now]
+        for host in expired:
+            del self._blacklist[host]
+        return sorted(self._blacklist)
+
+    def _blacklist_hosts(self, hosts: Sequence[str], reason: str) -> None:
+        until = (math.inf if self.blacklist_seconds is None
+                 else self.sim.now + self.blacklist_seconds)
+        for host in hosts:
+            self._blacklist[host] = max(self._blacklist.get(host, 0.0), until)
+        self._fault_instant("blacklist", hosts=",".join(sorted(hosts)),
+                            reason=reason)
+
+    def _fault_instant(self, name: str, **args) -> None:
+        trace = self.sim.trace
+        if trace is not None and "fault" in trace.active:
+            trace.instant("fault", name, **args)
 
     # -- execution ---------------------------------------------------------------
-    def _start_migration(self, app: MigratableApp,
-                         new_hosts: List[str]) -> None:
+    def _start_migration(self, app: MigratableApp, new_hosts: List[str],
+                         evaluation: MigrationEvaluation,
+                         trigger: str) -> bool:
+        """Kick off ``app.migrate``; returns True if it actually started.
+
+        Every exit path — synchronous exception, failed migration
+        event, lost event past the timeout — removes ``app.name`` from
+        the in-flight set, so one broken migration can never disable
+        rescheduling for that app forever.
+        """
+        self._migration_seq += 1
+        token = self._migration_seq
         self._migrating.add(app.name)
-        event = app.migrate(new_hosts)
-        event.add_callback(lambda _e: self._migrating.discard(app.name))
+        self._inflight[app.name] = _Inflight(
+            token=token, new_hosts=tuple(new_hosts),
+            evaluation=evaluation, trigger=trigger)
+        try:
+            event = app.migrate(new_hosts)
+        except Exception as exc:
+            self._abandon(app.name, token, "migration-failed",
+                          error=f"{type(exc).__name__}: {exc}")
+            return False
+        event.add_callback(
+            lambda e, a=app.name, t=token: self._on_migration_event(a, t, e))
+        if self.migration_timeout_seconds is not None:
+            self.sim.call_after(
+                self.migration_timeout_seconds,
+                lambda a=app.name, t=token: self._on_migration_timeout(a, t))
+        return True
+
+    def _on_migration_event(self, app_name: str, token: int,
+                            event: Event) -> None:
+        inflight = self._inflight.get(app_name)
+        if inflight is None or inflight.token != token:
+            # A timeout already abandoned this attempt (or a newer one
+            # superseded it); still defuse a failure so it cannot crash
+            # the kernel with nobody waiting.
+            if event.triggered and not event.ok:
+                event.defused = True
+            return
+        if event.ok:
+            del self._inflight[app_name]
+            self._migrating.discard(app_name)
+            return
+        event.defused = True
+        self._abandon(app_name, token, "migration-failed",
+                      error=f"{type(event.value).__name__}: {event.value}")
+
+    def _on_migration_timeout(self, app_name: str, token: int) -> None:
+        inflight = self._inflight.get(app_name)
+        if inflight is None or inflight.token != token:
+            return  # completed (or already abandoned) in time
+        self._abandon(app_name, token, "migration-timeout",
+                      timeout=self.migration_timeout_seconds)
+
+    def _abandon(self, app_name: str, token: int, reason: str,
+                 **trace_args) -> None:
+        inflight = self._inflight.pop(app_name)
+        assert inflight.token == token
+        self._migrating.discard(app_name)
+        self.aborted_migrations += 1
+        self._blacklist_hosts(inflight.new_hosts, reason)
+        self._fault_instant(reason, app=app_name, **trace_args)
+        self._record_decision(DecisionRecord(
+            time=self.sim.now, app=app_name, trigger=reason,
+            evaluation=inflight.evaluation, migrated=False))

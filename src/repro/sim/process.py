@@ -80,9 +80,24 @@ class Process(Event):
         """
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
-        poke = Event(self.sim, name=f"{self.name}:interrupt")
+        self._poke(Interrupt(cause), f"{self.name}:interrupt")
+
+    def throw(self, exc: BaseException) -> None:
+        """Raise an arbitrary exception inside the process at its yield
+        point (same delivery as :meth:`interrupt`, different type).
+
+        This is how the substrate delivers asynchronous death — e.g. a
+        host crash must kill a rank even while it is blocked on a
+        network transfer, which no failing compute event would reach.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot throw into finished process {self.name!r}")
+        self._poke(exc, f"{self.name}:throw")
+
+    def _poke(self, exc: BaseException, name: str) -> None:
+        poke = Event(self.sim, name=name)
         poke.add_callback(self._resume_with_interrupt)
-        poke._value = Interrupt(cause)
+        poke._value = exc
         poke._ok = False
         self.sim._queue_event(poke)
 

@@ -36,6 +36,7 @@ CATEGORIES: Tuple[str, ...] = (
     "scheduler",   # per-heuristic decision spans and task commits
     "contract",    # ratio samples, violations, migration requests
     "reschedule",  # SRS checkpoint/restart, swaps, rescheduler decisions
+    "fault",       # failure injections and every recovery decision
     "meta",        # run markers written by the experiment drivers
 )
 

@@ -98,3 +98,64 @@ class TestQrFaultTolerance:
         finished = run.start()
         with pytest.raises((DepotError, KeyError)):
             sim.run(stop_event=finished)
+
+
+class TestBoundedRetry:
+    def test_gives_up_when_resources_never_return(self):
+        """Every candidate host dies for good: the manager retries with
+        backoff a bounded number of times, then surfaces a clear error
+        instead of spinning forever."""
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        env = GradsEnvironment(sim, grid, submission_host="utk.n3")
+        run, monitor, rescheduler = env.managed_qr(
+            QrBenchmark(n=2500, nb=200),
+            initial_hosts=grid.clusters["utk"].host_names()[:3],
+            rescheduler_mode="force-stay",
+            checkpoint_every=2, stable_storage=True,
+            max_restart_attempts=2, retry_backoff_seconds=1.0)
+        for host in grid.all_hosts():
+            if host.name != "utk.n3":
+                ScheduledFailure(host=host, at=30.0).install(sim)
+        finished = run.start()
+        with pytest.raises(RuntimeError,
+                           match="no candidate resources|giving up"):
+            sim.run(until=10000.0, stop_event=finished)
+        assert run.retry_waits >= 1
+
+    def test_backoff_waits_out_a_transient_outage(self):
+        """Same wipeout, but one cluster recovers inside the backoff
+        budget: the run must complete on the recovered cluster."""
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        env = GradsEnvironment(sim, grid, submission_host="utk.n3")
+        run, monitor, rescheduler = env.managed_qr(
+            QrBenchmark(n=2500, nb=200),
+            initial_hosts=grid.clusters["utk"].host_names()[:3],
+            rescheduler_mode="force-stay",
+            checkpoint_every=2, stable_storage=True,
+            max_restart_attempts=8, retry_backoff_seconds=5.0)
+        for name in grid.clusters["utk"].host_names()[:3]:
+            ScheduledFailure(host=env.gis.host(name), at=30.0).install(sim)
+        for name in grid.clusters["uiuc"].host_names():
+            ScheduledFailure(host=env.gis.host(name), at=30.0,
+                             recover_at=300.0).install(sim)
+        finished = run.start()
+        sim.run(until=20000.0, stop_event=finished)
+        assert finished.triggered and finished.ok
+        assert run.failures_recovered >= 1
+        assert run.retry_waits >= 1
+        assert run.progress == run.benchmark.steps
+
+    def test_retry_parameters_validated(self):
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        env = GradsEnvironment(sim, grid)
+        with pytest.raises(ValueError):
+            env.managed_qr(QrBenchmark(n=1000),
+                           initial_hosts=["utk.n0", "utk.n1"],
+                           max_restart_attempts=0)
+        with pytest.raises(ValueError):
+            env.managed_qr(QrBenchmark(n=1000),
+                           initial_hosts=["utk.n0", "utk.n1"],
+                           retry_backoff_seconds=0.0)

@@ -220,3 +220,41 @@ class TestLauncher:
         assert t1 == pytest.approx(4 * t4)
         with pytest.raises(ValueError):
             cop.predicted_seconds(3000, ARCH_PIII_933, n_procs=0)
+
+
+class TestDeadHosts:
+    def test_launcher_refuses_dead_host_synchronously(self):
+        from repro.microgrid import HostFailure
+        sim, grid, gis, nws, software = build_env()
+        grid.clusters["utk"][1].fail()
+        launcher = Launcher(sim, grid.topology, gis)
+        with pytest.raises(HostFailure):
+            launcher.launch(simple_cop(n_procs=2), ["utk.n0", "utk.n1"],
+                            lambda ctx: None)
+
+    def test_bind_refuses_dead_host(self):
+        from repro.microgrid import HostFailure
+        sim, grid, gis, nws, software = build_env()
+        grid.clusters["utk"][1].fail()
+        binder = DistributedBinder(sim, grid.topology, gis, software,
+                                   package_source="utk.n0")
+        ev = binder.bind(simple_cop(), ["utk.n0", "utk.n1"])
+        ev.defused = True
+        sim.run(until=10.0)
+        assert ev.triggered and not ev.ok
+        assert isinstance(ev.value, HostFailure)
+
+    def test_sibling_local_binders_reaped_after_failure(self):
+        """Two targets die mid-bind at different points in their local
+        binds.  The first failure fails the bind; the second local
+        binder must be reaped, not left to fail with no waiter (which
+        would abort the whole simulation)."""
+        sim, grid, gis, nws, software = build_env()
+        binder = DistributedBinder(sim, grid.topology, gis, software,
+                                   package_source="utk.n3")
+        ev = binder.bind(simple_cop(), ["utk.n0", "uiuc.n0"])
+        ev.defused = True
+        sim.call_after(0.1, grid.clusters["utk"][0].fail)
+        sim.call_after(0.1, grid.clusters["uiuc"][0].fail)
+        sim.run(until=5000.0)  # must not raise from an orphaned sibling
+        assert ev.triggered and not ev.ok

@@ -194,3 +194,66 @@ class TestContractMonitor:
         sim.run(stop_event=done)
         # each phase's recorded ratio is the slowest rank's 3.0
         assert all(r == pytest.approx(3.0) for r in monitor.ratios)
+
+
+class FakeJob:
+    """Stand-in for MpiJob's iteration-sensor interface."""
+
+    def __init__(self, size):
+        self.size = size
+        self._callbacks = []
+
+    def on_iteration(self, callback):
+        self._callbacks.append(callback)
+
+    def report(self, rank, iteration, seconds):
+        for callback in self._callbacks:
+            callback(rank, iteration, seconds)
+
+
+class TestAttachJobHardening:
+    """Sensor-stream hardening: checkpoint restarts replay iterations,
+    so ranks may re-report phases the monitor already evaluated."""
+
+    def attach(self, size=2):
+        sim = Simulator()
+        monitor = ContractMonitor(sim, contract(predicted=1.0), window=1)
+        job = FakeJob(size=size)
+        monitor.attach_job(job)
+        return monitor, job
+
+    def test_duplicate_rank_report_cannot_complete_a_phase(self):
+        monitor, job = self.attach(size=2)
+        job.report(0, 0, 1.0)
+        job.report(0, 0, 5.0)  # same rank again: must not count twice
+        assert monitor.ratios == []
+        job.report(1, 0, 3.0)
+        assert monitor.ratios == [pytest.approx(3.0)]
+
+    def test_duplicate_report_does_not_update_worst(self):
+        monitor, job = self.attach(size=2)
+        job.report(0, 0, 1.0)
+        job.report(0, 0, 99.0)  # stale duplicate with a bogus time
+        job.report(1, 0, 2.0)
+        assert monitor.ratios == [pytest.approx(2.0)]
+
+    def test_stale_rereport_of_evaluated_phase_ignored(self):
+        monitor, job = self.attach(size=2)
+        job.report(0, 0, 1.0)
+        job.report(1, 0, 1.0)
+        assert len(monitor.ratios) == 1
+        # an SRS restart replays phase 0 from both ranks
+        job.report(0, 0, 9.0)
+        job.report(1, 0, 9.0)
+        assert len(monitor.ratios) == 1
+
+    def test_evaluated_phases_are_popped(self):
+        """The pending map must stay bounded over a long run."""
+        monitor, job = self.attach(size=1)
+        for phase in range(50):
+            job.report(0, phase, 1.0)
+        assert len(monitor.ratios) == 50
+        # nothing is left pending: a fresh rank-0 report for any old
+        # phase is recognized as stale, not a new partial phase
+        job.report(0, 10, 7.0)
+        assert len(monitor.ratios) == 50

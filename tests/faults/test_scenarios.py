@@ -1,0 +1,64 @@
+"""Tests for the scripted kill scenarios.
+
+These exercise the full recovery stack end to end: host death-watch,
+launcher/binder dead-host refusal, bounded retry-with-backoff, and the
+rescheduler's abandon-and-blacklist path.
+"""
+
+import pytest
+
+from repro.faults import SCENARIOS, run_scenario, run_scenarios
+from repro.faults.scenarios import host_death_mid_migration
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = run_scenarios()
+    return {r["name"]: r for r in out}
+
+
+class TestHostDeathMidMigration:
+    def test_completes_via_checkpoint_restart(self, results):
+        """ISSUE acceptance: a host dying mid-migration must abort the
+        migration (no `_migrating` leak) and still complete the run."""
+        result = results["host-death-mid-migration"]
+        assert result["completed"]
+        assert result["failures_recovered"] >= 1
+        assert result["aborted_migrations"] >= 1
+        assert result["migrating_leaked"] == []
+        assert result["passed"]
+
+    def test_scenario_is_deterministic(self, results):
+        assert host_death_mid_migration() == \
+            results["host-death-mid-migration"]
+
+
+class TestCandidateSetWipeout:
+    def test_backoff_outlasts_the_outage(self, results):
+        result = results["candidate-set-wipeout"]
+        assert result["completed"]
+        assert result["failures_recovered"] >= 1
+        assert result["retry_waits"] >= 1
+        assert result["passed"]
+
+
+class TestCrashRecoverChurn:
+    def test_every_crash_restarts_from_checkpoint(self, results):
+        result = results["crash-recover-churn"]
+        assert result["completed"]
+        assert result["failures_recovered"] >= 2
+        assert len(result["victims"]) >= 2
+        assert result["migrating_leaked"] == []
+        assert result["passed"]
+
+
+class TestRegistry:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("power-cut")
+
+    def test_run_scenarios_covers_registry_in_order(self, results):
+        assert list(results) == list(SCENARIOS)
+
+    def test_all_scenarios_pass(self, results):
+        assert all(r["passed"] for r in results.values())

@@ -175,3 +175,39 @@ class TestRandomFailureInjector:
         with pytest.raises(TypeError):
             RandomFailureInjector(grid.clusters["utk"].hosts, "rng",
                                   mtbf=1.0, mttr=1.0)
+
+
+class TestFailureSourceInterleaving:
+    def test_injector_leaves_deliberately_downed_host_down(self):
+        """The injector only repairs failures it caused itself: a host a
+        ScheduledFailure left down for good must stay down."""
+        sim = Simulator()
+        host = make_host(sim)
+        ScheduledFailure(host=host, at=0.0).install(sim)
+        injector = RandomFailureInjector([host], seed=0, mtbf=5.0, mttr=2.0)
+        injector.install(sim)
+        sim.run(until=200.0)
+        assert not host.alive
+        assert injector.failures == []
+
+    def test_overlapping_scheduled_failures_tolerated(self):
+        sim = Simulator()
+        host = make_host(sim)
+        ScheduledFailure(host=host, at=1.0, recover_at=10.0).install(sim)
+        ScheduledFailure(host=host, at=2.0, recover_at=5.0).install(sim)
+        sim.run(until=20.0)
+        assert host.alive
+        assert host.failures == 1
+
+    def test_injector_and_scheduled_failures_coexist(self):
+        """Both sources drive the same hosts for a long stretch without
+        any double-fail/double-recover ValueError escaping."""
+        sim = Simulator()
+        grid = fig3_testbed(sim)
+        hosts = grid.clusters["uiuc"].hosts
+        for host in hosts:
+            ScheduledFailure(host=host, at=25.0, recover_at=40.0).install(sim)
+        injector = RandomFailureInjector(hosts, seed=7, mtbf=30.0, mttr=10.0)
+        injector.install(sim)
+        sim.run(until=500.0)
+        assert all(host.failures >= 1 for host in hosts)

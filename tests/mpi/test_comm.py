@@ -371,3 +371,86 @@ class TestScatterReduce:
         job.launch(body)
         sim.run()
         assert results[0] == pytest.approx(4.0)
+
+
+class TestDeathWatch:
+    """Ranks must die with their host even when blocked on
+    communication rather than compute (the mid-checkpoint hang)."""
+
+    def test_rank_blocked_on_recv_dies_with_host(self):
+        from repro.microgrid import HostFailure
+        sim, job = make_job(2)
+        died = []
+
+        def body(ctx):
+            if ctx.rank == 1:
+                try:
+                    yield ctx.recv(src=0)  # nothing is ever sent
+                except HostFailure as exc:
+                    died.append((ctx.sim.now, exc.host_name))
+            else:
+                yield ctx.sim.timeout(10.0)
+
+        job.launch(body)
+        victim = job._rank_hosts[1]
+        sim.call_after(2.0, victim.fail)
+        sim.run()
+        assert died == [(2.0, "h1")]
+
+    def test_rank_blocked_on_transfer_dies_with_host(self):
+        from repro.microgrid import HostFailure
+        sim, job = make_job(2, bw=1e3)  # 1e6 bytes take ~1000 s
+        died = []
+
+        def body(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield ctx.send(dst=1, nbytes=1e6)
+                except HostFailure:
+                    died.append(ctx.sim.now)
+            else:
+                yield ctx.sim.timeout(1.0)
+
+        job.launch(body)
+        victim = job._rank_hosts[0]
+        sim.call_after(5.0, victim.fail)
+        sim.run(until=2000.0)
+        assert died == [5.0]
+
+    def test_rank_blocked_on_barrier_dies_with_host(self):
+        from repro.microgrid import HostFailure
+        sim, job = make_job(2)
+        died = []
+
+        def body(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from ctx.comm.barrier(ctx.rank)
+                except HostFailure:
+                    died.append(ctx.sim.now)
+            else:
+                yield ctx.sim.timeout(100.0)
+
+        job.launch(body)
+        victim = job._rank_hosts[0]
+        sim.call_after(3.0, victim.fail)
+        sim.run(until=200.0)
+        assert died == [3.0]
+
+    def test_survivor_ranks_unaffected(self):
+        from repro.microgrid import HostFailure
+        sim, job = make_job(3)
+        outcome = {}
+
+        def body(ctx):
+            try:
+                yield ctx.sim.timeout(1.0 if ctx.rank == 0 else 20.0)
+                outcome[ctx.rank] = "finished"
+            except HostFailure:
+                outcome[ctx.rank] = "died"
+
+        job.launch(body)
+        victim = job._rank_hosts[1]
+        sim.call_after(5.0, victim.fail)
+        sim.run(until=100.0)
+        assert outcome == {0: "finished", 1: "died", 2: "finished"}

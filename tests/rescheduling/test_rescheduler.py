@@ -177,6 +177,124 @@ class TestModes:
         assert resched.decisions[0].app == "fake"
 
 
+class TestFailureHardening:
+    def test_constructor_validation(self):
+        sim, gis, nws = env()
+        with pytest.raises(ValueError):
+            Rescheduler(sim, gis, nws, migration_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            Rescheduler(sim, gis, nws, blacklist_seconds=-1.0)
+
+    def test_sync_migrate_exception_abandons_and_blacklists(self):
+        """app.migrate() raising must not leave the app in _migrating."""
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+
+        def bad_migrate(new_hosts):
+            raise RuntimeError("binder exploded")
+
+        app.migrate = bad_migrate
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate")
+        assert resched.handle_request(app, request(sim)) is False
+        assert resched._migrating == set()
+        assert resched.aborted_migrations == 1
+        assert resched.decisions[-1].trigger == "migration-failed"
+        assert resched.decisions[-1].migrated is False
+        assert resched.blacklisted_hosts() == ["uiuc.n0", "uiuc.n1"]
+
+    def test_failed_migration_event_abandons(self):
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+        failing = sim.event()
+        app.migrate = lambda new_hosts: failing
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate")
+        assert resched.handle_request(app, request(sim)) is True
+        assert "fake" in resched._migrating
+        sim.call_after(1.0, lambda: failing.fail(RuntimeError("host died")))
+        sim.run(until=5.0)
+        assert resched._migrating == set()
+        assert resched.aborted_migrations == 1
+        assert resched.decisions[-1].trigger == "migration-failed"
+        # a later request can start a fresh attempt
+        app.migrate = FakeApp.migrate.__get__(app)
+        assert resched.handle_request(app, request(sim)) is True
+
+    def test_migration_timeout_abandons_and_blacklists(self):
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+        stuck = sim.event()  # the migration event is simply lost
+        app.migrate = lambda new_hosts: stuck
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate",
+                              migration_timeout_seconds=10.0)
+        assert resched.handle_request(app, request(sim)) is True
+        sim.run(until=20.0)
+        assert resched._migrating == set()
+        assert resched.aborted_migrations == 1
+        assert resched.decisions[-1].trigger == "migration-timeout"
+        assert resched.blacklisted_hosts() == ["uiuc.n0", "uiuc.n1"]
+
+    def test_late_event_after_timeout_is_ignored(self):
+        """The token guard: an event surfacing after the timeout
+        abandoned its attempt must not corrupt newer state."""
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+        stuck = sim.event()
+        app.migrate = lambda new_hosts: stuck
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate",
+                              migration_timeout_seconds=10.0)
+        assert resched.handle_request(app, request(sim)) is True
+        sim.call_after(30.0, lambda: stuck.succeed(["uiuc.n0"]))
+        sim.run(until=40.0)
+        assert resched.aborted_migrations == 1
+        assert resched._migrating == set()
+
+    def test_timely_migration_cancels_timeout(self):
+        sim, gis, nws = env()
+        app = FakeApp(sim)  # FakeApp migrations succeed after 1 s
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate",
+                              migration_timeout_seconds=10.0)
+        assert resched.handle_request(app, request(sim)) is True
+        sim.run(until=20.0)
+        assert resched.aborted_migrations == 0
+        assert resched._migrating == set()
+        assert resched.blacklisted_hosts() == []
+
+    def test_blacklist_expires(self):
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+
+        def bad_migrate(new_hosts):
+            raise RuntimeError("boom")
+
+        app.migrate = bad_migrate
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate",
+                              blacklist_seconds=50.0)
+        resched.handle_request(app, request(sim))
+        assert resched.blacklisted_hosts() == ["uiuc.n0", "uiuc.n1"]
+        sim.run(until=60.0)
+        assert resched.blacklisted_hosts() == []
+
+    def test_evaluate_excludes_blacklisted_hosts(self):
+        sim, gis, nws = env()
+        app = FakeApp(sim)
+        excludes = []
+
+        def propose(exclude=()):
+            excludes.append(sorted(exclude))
+            return ["uiuc.n0", "uiuc.n1"]
+
+        def bad_migrate(new_hosts):
+            raise RuntimeError("boom")
+
+        app.propose_hosts = propose
+        app.migrate = bad_migrate
+        resched = Rescheduler(sim, gis, nws, mode="force-migrate")
+        resched.handle_request(app, request(sim))
+        resched.handle_request(app, request(sim))
+        assert "uiuc.n0" not in excludes[0]
+        assert {"uiuc.n0", "uiuc.n1"} <= set(excludes[1])
+
+
 class TestOpportunistic:
     def test_period_validation(self):
         sim, gis, nws = env()
