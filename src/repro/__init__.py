@@ -18,6 +18,8 @@ Subpackages
 ``repro.contracts``    Autopilot, fuzzy logic, performance contracts
 ``repro.ibp``          network storage depots
 ``repro.rescheduling`` SRS/RSS, redistribution, reschedulers, swapping
+``repro.faults``       failure injection and recovery campaigns
+``repro.metasched``    multi-tenant submission service with reservations
 ``repro.apps``         ScaLAPACK QR, N-body, EMAN refinement workflow
 ``repro.appmanager``   the wired-up GrADS execution environment
 ``repro.experiments``  drivers regenerating the paper's figures
@@ -34,8 +36,10 @@ from . import (
     contracts,
     cop,
     experiments,
+    faults,
     gis,
     ibp,
+    metasched,
     microgrid,
     mpi,
     nws,
@@ -58,8 +62,10 @@ __all__ = [
     "contracts",
     "cop",
     "experiments",
+    "faults",
     "gis",
     "ibp",
+    "metasched",
     "microgrid",
     "mpi",
     "nws",

@@ -10,6 +10,8 @@
     python -m repro bench --compare
     python -m repro faults run --seed 0 --mtbf 300,900 --json
     python -m repro faults report campaign.json
+    python -m repro metasched run --users 6 --arrival-rate 0.01 --json
+    python -m repro metasched report stream.json
     python -m repro trace diff a.trace.json b.trace.json
     python -m repro lint --format json --baseline simlint-baseline.json
 
@@ -21,6 +23,11 @@ utilization and the violation timeline, ``diff`` pinpoints the first
 divergent event between two traces (exit 1 when they diverge).
 ``repro lint`` runs the determinism linter (``repro.simlint``) over
 the tree — see DESIGN.md §5 for the rules and suppression syntax.
+
+Every experiment subcommand also accepts ``--seed N`` (default 0): the
+run's randomness, if it has any, derives from ``RngRegistry(N)``, and
+two invocations with equal arguments produce identical output —
+``--json`` payloads byte-for-byte (each carries ``schema_version``).
 
 Exit codes: 0 success, 1 experiment/trace/lint failure, 2 bad usage.
 """
@@ -38,6 +45,7 @@ from .experiments.eman_demo import run_eman_demo
 from .experiments.faults_campaign import campaign_tables, run_faults_campaign
 from .experiments.fig3_qr import DEFAULT_SIZES, run_fig3
 from .experiments.fig4_swap import run_fig4
+from .experiments.metasched_stream import metasched_tables, run_metasched
 from .experiments.opportunistic import run_opportunistic
 from .experiments.scheduler_bench import (
     build_scheduler_bench_env,
@@ -45,7 +53,7 @@ from .experiments.scheduler_bench import (
     schedules_equal,
 )
 from .experiments.substrate import run_substrate_bench
-from .experiments.common import format_table
+from .experiments.common import JSON_SCHEMA_VERSION, format_table
 from .faults.campaign import CampaignSpec
 from .microgrid.dml import parse_grid
 from .rescheduling.swapping import SWAP_POLICIES
@@ -69,6 +77,13 @@ def _add_trace_option(parser: argparse.ArgumentParser) -> None:
         help="export the run's event timeline as Chrome trace-event JSON")
 
 
+def _add_seed_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="experiment seed (default 0); all driver randomness derives "
+             "from it and equal seeds give identical output")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--nb", type=int, default=200, help="panel width")
     fig3.add_argument("--no-decisions", action="store_true",
                       help="skip the default-mode decision replay")
+    _add_seed_option(fig3)
     _add_trace_option(fig3)
 
     fig4 = sub.add_parser("fig4", help="Figure 4: N-body process swapping")
@@ -94,15 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--json", action="store_true",
                       help="emit the result (progress, swaps, counters) "
                            "as JSON on stdout")
+    _add_seed_option(fig4)
     _add_trace_option(fig4)
 
     eman = sub.add_parser("eman", help="Section 3.3: EMAN workflow demo")
+    _add_seed_option(eman)
     _add_trace_option(eman)
 
     opp = sub.add_parser("opportunistic",
                          help="Section 4.1.1: opportunistic rescheduling")
     opp.add_argument("--disable", action="store_true",
                      help="run the baseline without the daemon")
+    _add_seed_option(opp)
     _add_trace_option(opp)
 
     describe = sub.add_parser("describe",
@@ -187,6 +206,43 @@ def build_parser() -> argparse.ArgumentParser:
                        "(exit 1 if any scenario failed)")
     freport.add_argument("path", help="report JSON from `faults run --out`")
 
+    meta = sub.add_parser(
+        "metasched", help="multi-tenant submission service: serve a "
+                          "synthetic job stream with queueing, admission "
+                          "control and advance reservations")
+    meta_sub = meta.add_subparsers(dest="metasched_command", required=True)
+
+    mrun = meta_sub.add_parser(
+        "run", help="serve one stream; same seed => byte-identical JSON "
+                    "(exit 1 on any reservation conflict)")
+    mrun.add_argument("--users", type=int, default=4,
+                      help="number of synthetic tenants (default 4)")
+    mrun.add_argument("--arrival-rate", type=float, default=1 / 120.0,
+                      help="aggregate Poisson arrival rate in jobs per "
+                           "simulated second (default 1/120)")
+    mrun.add_argument("--duration", type=float, default=3600.0,
+                      help="arrival window in simulated seconds; jobs "
+                           "already queued still run to completion")
+    mrun.add_argument("--max-jobs", type=int, default=None,
+                      help="cap the stream at exactly this many jobs")
+    mrun.add_argument("--max-queue", type=int, default=None,
+                      help="admission control: reject when this many jobs "
+                           "are already queued")
+    mrun.add_argument("--max-per-user", type=int, default=None,
+                      help="admission control: per-user queued-job quota")
+    mrun.add_argument("--json", action="store_true",
+                      help="emit the deterministic report JSON on stdout")
+    mrun.add_argument("--out", metavar="PATH", default=None,
+                      help="also write the report JSON to PATH")
+    _add_seed_option(mrun)
+    _add_trace_option(mrun)
+
+    mreport = meta_sub.add_parser(
+        "report", help="render a saved stream report as tables "
+                       "(exit 1 on any reservation conflict)")
+    mreport.add_argument("path", help="report JSON from "
+                                      "`metasched run --out`")
+
     trace = sub.add_parser("trace", help="inspect exported trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
 
@@ -227,7 +283,8 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         return 2
     tracer = _make_tracer(args)
     result = run_fig3(sizes=sizes, nb=args.nb,
-                      with_decisions=not args.no_decisions, tracer=tracer)
+                      with_decisions=not args.no_decisions, seed=args.seed,
+                      tracer=tracer)
     _export(tracer, args)
     print(result.to_table())
     if not args.no_decisions:
@@ -241,13 +298,14 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     if args.policy == "none":
         result = run_fig4(n_iterations=args.iterations, with_swapping=False,
-                          tracer=tracer)
+                          seed=args.seed, tracer=tracer)
     else:
         result = run_fig4(n_iterations=args.iterations, policy=args.policy,
-                          tracer=tracer)
+                          seed=args.seed, tracer=tracer)
     _export(tracer, args)
     if args.json:
         payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
             "policy": result.policy,
             "finished_at": result.finished_at,
             "swap_times": result.swap_times,
@@ -275,7 +333,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 def _cmd_eman(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
-    result = run_eman_demo(tracer=tracer)
+    result = run_eman_demo(seed=args.seed, tracer=tracer)
     _export(tracer, args)
     print(result.to_table())
     print(f"\nexecuted {result.chosen_heuristic}: "
@@ -286,7 +344,8 @@ def _cmd_eman(args: argparse.Namespace) -> int:
 
 def _cmd_opportunistic(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
-    result = run_opportunistic(enable=not args.disable, tracer=tracer)
+    result = run_opportunistic(enable=not args.disable, seed=args.seed,
+                               tracer=tracer)
     _export(tracer, args)
     print(format_table(
         ["A done (s)", "B done (s)", "B migrations", "B final cluster"],
@@ -356,6 +415,8 @@ def _cmd_scheduler_bench(args: argparse.Namespace) -> int:
     for result in results:
         result.pop("schedules", None)  # not JSON/table material
     if args.json:
+        for result in results:
+            result["schema_version"] = JSON_SCHEMA_VERSION
         payload = results[0] if len(results) == 1 else results
         print(json.dumps(payload, sort_keys=True))
         return 0
@@ -382,6 +443,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                    allocator=alloc)
                for alloc in allocators]
     if args.json:
+        for result in results:
+            result["schema_version"] = JSON_SCHEMA_VERSION
         payload = results[0] if len(results) == 1 else results
         print(json.dumps(payload, sort_keys=True))
         return 0
@@ -477,6 +540,39 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_metasched(args: argparse.Namespace) -> int:
+    if args.metasched_command == "report":
+        with open(args.path) as handle:
+            report = json.load(handle)
+        print(metasched_tables(report))
+        return 1 if report["conflicts"] else 0
+    if args.users < 1 or args.arrival_rate <= 0 or args.duration <= 0:
+        print("repro metasched: need --users >= 1, --arrival-rate > 0 "
+              "and --duration > 0", file=sys.stderr)
+        return 2
+    tracer = _make_tracer(args)
+    result = run_metasched(
+        users=args.users, arrival_rate=args.arrival_rate,
+        duration=args.duration, seed=args.seed, max_jobs=args.max_jobs,
+        max_queue=args.max_queue, max_per_user=args.max_per_user,
+        tracer=tracer)
+    _export(tracer, args)
+    payload = result.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(metasched_tables(result.report()))
+    if result.conflicts:
+        for conflict in result.conflicts:
+            print(f"RESERVATION CONFLICT: {conflict}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "diff":
         divergence = diff_files(args.a, args.b)
@@ -510,6 +606,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "bench": _cmd_bench,
     "faults": _cmd_faults,
+    "metasched": _cmd_metasched,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
 }

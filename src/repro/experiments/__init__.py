@@ -1,7 +1,17 @@
 """Experiment drivers regenerating the paper's figures and demos."""
 
-from .common import bar_chart, format_series, format_table
+from .common import (
+    JSON_SCHEMA_VERSION,
+    bar_chart,
+    format_series,
+    format_table,
+)
 from .eman_demo import EmanResult, run_eman_demo
+from .metasched_stream import (
+    MetaschedResult,
+    metasched_tables,
+    run_metasched,
+)
 from .fig3_qr import (
     DEFAULT_SIZES,
     PHASES,
@@ -34,9 +44,12 @@ __all__ = [
     "Fig3Point",
     "Fig3Result",
     "Fig4Result",
+    "JSON_SCHEMA_VERSION",
+    "MetaschedResult",
     "PHASES",
     "WORST_CASE_SECONDS",
     "bar_chart",
+    "metasched_tables",
     "build_scheduler_bench_env",
     "build_substrate_grid",
     "campaign_tables",
@@ -47,6 +60,7 @@ __all__ = [
     "run_fig3",
     "run_fig3_point",
     "run_fig4",
+    "run_metasched",
     "run_scheduler_bench",
     "run_substrate_bench",
     "schedules_equal",

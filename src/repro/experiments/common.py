@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_series", "bar_chart"]
+__all__ = ["JSON_SCHEMA_VERSION", "format_table", "format_series",
+           "bar_chart"]
+
+#: version stamped into every ``--json`` CLI payload as
+#: ``schema_version``, so downstream consumers can detect layout
+#: changes; bump it whenever a payload's shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],

@@ -114,14 +114,21 @@ class Fig3Result:
 def run_fig3_point(n: int, mode: str, nb: int = 200,
                    load_at: float = LOAD_AT_SECONDS,
                    load_procs: int = LOAD_PROCS,
+                   seed: int = 0,
                    tracer=None) -> Fig3Point:
-    """Run one bar: a full GrADS lifecycle on a fresh virtual grid."""
+    """Run one bar: a full GrADS lifecycle on a fresh virtual grid.
+
+    ``seed`` follows the repo-wide experiment convention (DESIGN.md
+    §9.5): recorded in the meta trace; driver randomness, if any, must
+    come from ``RngRegistry(seed)`` (this scenario is scripted).
+    """
     if mode not in ("no-reschedule", "reschedule"):
         raise ValueError(f"unknown mode {mode!r}")
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
-        tracer.instant("meta", "run", experiment="fig3", n=n, mode=mode)
+        tracer.instant("meta", "run", experiment="fig3", n=n, mode=mode,
+                       seed=seed)
     grid = fig3_testbed(sim)
     env = GradsEnvironment(sim, grid, submission_host="utk.n0")
     benchmark = QrBenchmark(n=n, nb=nb)
@@ -141,13 +148,15 @@ def run_fig3_point(n: int, mode: str, nb: int = 200,
 
 def _default_decision(n: int, nb: int, stay: Fig3Point, move: Fig3Point,
                       load_at: float, load_procs: int,
+                      seed: int = 0,
                       tracer=None) -> dict:
     """Replay the default-mode rescheduler and score its decision
     against the measured forced-mode outcomes."""
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
-        tracer.instant("meta", "run", experiment="fig3", n=n, mode="default")
+        tracer.instant("meta", "run", experiment="fig3", n=n, mode="default",
+                       seed=seed)
     grid = fig3_testbed(sim)
     env = GradsEnvironment(sim, grid, submission_host="utk.n0")
     benchmark = QrBenchmark(n=n, nb=nb)
@@ -191,6 +200,7 @@ def run_fig3(sizes: Sequence[int] = DEFAULT_SIZES, nb: int = 200,
              load_at: float = LOAD_AT_SECONDS,
              load_procs: int = LOAD_PROCS,
              with_decisions: bool = True,
+             seed: int = 0,
              tracer=None) -> Fig3Result:
     """Regenerate Figure 3 (both bars per size) plus the decision table.
 
@@ -200,11 +210,14 @@ def run_fig3(sizes: Sequence[int] = DEFAULT_SIZES, nb: int = 200,
     result = Fig3Result()
     for n in sizes:
         stay = run_fig3_point(n, "no-reschedule", nb=nb, load_at=load_at,
-                              load_procs=load_procs, tracer=tracer)
+                              load_procs=load_procs, seed=seed,
+                              tracer=tracer)
         move = run_fig3_point(n, "reschedule", nb=nb, load_at=load_at,
-                              load_procs=load_procs, tracer=tracer)
+                              load_procs=load_procs, seed=seed,
+                              tracer=tracer)
         result.points.extend([stay, move])
         if with_decisions:
             result.decisions[n] = _default_decision(
-                n, nb, stay, move, load_at, load_procs, tracer=tracer)
+                n, nb, stay, move, load_at, load_procs, seed=seed,
+                tracer=tracer)
     return result

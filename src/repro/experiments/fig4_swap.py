@@ -71,17 +71,23 @@ def run_fig4(n_bodies: int = 9000, n_iterations: int = 120,
              load_procs: int = LOAD_PROCS,
              swap_period: float = 10.0,
              improvement: float = 1.1,
+             seed: int = 0,
              tracer=None) -> Fig4Result:
     """Run the Figure 4 scenario; disable swapping for the baseline.
 
     ``tracer`` (a :class:`repro.trace.Tracer`) records the run's event
-    timeline; the CLI's ``fig4 --trace PATH`` exports it.
+    timeline; the CLI's ``fig4 --trace PATH`` exports it.  ``seed``
+    follows the repo-wide experiment convention (see DESIGN.md §9.5):
+    it is recorded in the meta trace, and any driver randomness must be
+    drawn from ``RngRegistry(seed)`` (this scenario is scripted, so the
+    seed currently only labels the run).
     """
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
         tracer.instant("meta", "run", experiment="fig4", policy=policy,
-                       iterations=n_iterations, swapping=with_swapping)
+                       iterations=n_iterations, swapping=with_swapping,
+                       seed=seed)
     grid = fig4_testbed(sim)
     nws = NetworkWeatherService(sim, grid, cpu_period=5.0,
                                 deploy_network_sensors=False)

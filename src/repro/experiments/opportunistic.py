@@ -77,13 +77,19 @@ def _managed_run(env: GradsEnvironment, benchmark: QrBenchmark,
 def run_opportunistic(n_a: int = 6000, n_b: int = 8000,
                       enable: bool = True,
                       period: float = 60.0,
+                      seed: int = 0,
                       tracer=None) -> OpportunisticResult:
-    """Run the two-application scenario, with or without the daemon."""
+    """Run the two-application scenario, with or without the daemon.
+
+    ``seed`` follows the repo-wide experiment convention (DESIGN.md
+    §9.5): recorded in the meta trace; driver randomness, if any, must
+    come from ``RngRegistry(seed)`` (this scenario is scripted).
+    """
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
         tracer.instant("meta", "run", experiment="opportunistic",
-                       enabled=enable)
+                       enabled=enable, seed=seed)
     grid = asymmetric_grid(sim)
     env = GradsEnvironment(sim, grid, submission_host="fast.n0")
     rescheduler = Rescheduler(sim, env.gis, env.nws, mode="default",

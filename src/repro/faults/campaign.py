@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from ..appmanager.manager import GradsEnvironment
 from ..apps.qr import QrBenchmark
+from ..experiments.common import JSON_SCHEMA_VERSION
 from ..microgrid.failures import RandomFailureInjector
 from ..microgrid.testbed import fig3_testbed
 from ..sim.kernel import Simulator
@@ -156,6 +157,7 @@ class CampaignResult:
 
     def report(self) -> dict:
         return {
+            "schema_version": JSON_SCHEMA_VERSION,
             "spec": asdict(self.spec),
             "cells": self.cells,
             "scenarios": self.scenarios,

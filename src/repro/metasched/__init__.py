@@ -1,0 +1,37 @@
+"""repro.metasched — a multi-tenant grid submission service.
+
+The layer the single-application GrADS stack is missing: a front-door
+service that accepts a stream of heterogeneous jobs from many users,
+holds them in a fair-share queue, admits them against live GIS/NWS
+state, books capacity in per-host advance-reservation calendars
+(with backfill of small jobs into the gaps), and places every admitted
+job through the existing workflow scheduler.  See DESIGN.md §9.
+"""
+
+from .admission import AdmissionController
+from .arrivals import DEFAULT_MIX, generate_stream
+from .jobs import JOB_KINDS, JobSpec, build_workflow
+from .queueing import FairShareQueue
+from .reservations import (
+    HostCalendar,
+    Reservation,
+    ReservationBook,
+    ReservationConflict,
+)
+from .service import JobState, MetaScheduler
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_MIX",
+    "FairShareQueue",
+    "HostCalendar",
+    "JOB_KINDS",
+    "JobSpec",
+    "JobState",
+    "MetaScheduler",
+    "Reservation",
+    "ReservationBook",
+    "ReservationConflict",
+    "build_workflow",
+    "generate_stream",
+]

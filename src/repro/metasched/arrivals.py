@@ -1,0 +1,80 @@
+"""Open-loop synthetic job streams.
+
+Arrivals are a Poisson process: exponential inter-arrival gaps at an
+aggregate ``arrival_rate`` (jobs per simulated second across all
+users), drawn from a dedicated :mod:`repro.sim.rng` stream so the
+stream for a given seed never changes when other subsystems add
+randomness.  Users, job kinds and sizes are sampled from further named
+streams, which makes each facet independently reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.rng import RngRegistry
+from .jobs import JOB_KINDS, JobSpec
+
+__all__ = ["generate_stream", "DEFAULT_MIX"]
+
+#: (kind, weight, (min_size, max_size), (min_hosts, max_hosts)) —
+#: sizes chosen so a job runs minutes of simulated time on the Fig. 3
+#: testbed, long enough that a realistic arrival rate produces queue
+#: contention (and therefore reservations and backfill)
+DEFAULT_MIX: Tuple[tuple, ...] = (
+    ("qr", 0.4, (4000.0, 9000.0), (2, 4)),
+    ("eman", 0.3, (30000.0, 120000.0), (2, 6)),
+    ("nbody", 0.3, (50000.0, 200000.0), (1, 4)),
+)
+
+
+def generate_stream(n_users: int, arrival_rate: float, duration: float,
+                    rng: RngRegistry,
+                    mix: Sequence[tuple] = DEFAULT_MIX,
+                    max_jobs: Optional[int] = None) -> List[JobSpec]:
+    """Draw the full arrival schedule for one run, up front (open loop).
+
+    Returns specs ordered by submit time.  ``max_jobs`` caps the stream
+    length regardless of ``duration`` (the benchmark uses it to pin an
+    exact job count).
+    """
+    if n_users < 1:
+        raise ValueError("need at least one user")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not mix:
+        raise ValueError("empty job mix")
+    kinds = [entry[0] for entry in mix]
+    unknown = sorted(set(kinds) - set(JOB_KINDS))
+    if unknown:
+        raise ValueError(f"unknown kinds in mix: {unknown}")
+    weights = [float(entry[1]) for entry in mix]
+    total_weight = sum(weights)
+    probabilities = [w / total_weight for w in weights]
+
+    gaps = rng.stream("metasched-arrivals")
+    users = rng.stream("metasched-users")
+    kind_picks = rng.stream("metasched-kinds")
+    sizes = rng.stream("metasched-sizes")
+    host_counts = rng.stream("metasched-hosts")
+
+    specs: List[JobSpec] = []
+    now = 0.0
+    while True:
+        now += float(gaps.exponential(1.0 / arrival_rate))
+        if now > duration:
+            break
+        if max_jobs is not None and len(specs) >= max_jobs:
+            break
+        index = len(specs)
+        user = f"u{int(users.integers(0, n_users))}"
+        pick = int(kind_picks.choice(len(mix), p=probabilities))
+        kind, _weight, (lo_size, hi_size), (lo_hosts, hi_hosts) = mix[pick]
+        size = float(sizes.uniform(lo_size, hi_size))
+        n_hosts = int(host_counts.integers(lo_hosts, hi_hosts + 1))
+        specs.append(JobSpec(
+            name=f"{user}-j{index}", user=user, kind=kind,
+            submit_time=now, n_hosts=n_hosts, size=size))
+    return specs

@@ -1,0 +1,120 @@
+"""Job specifications for the submission service.
+
+A :class:`JobSpec` is what a user hands the front door: a kind (one of
+the reproduction's application families), a size, and a host count.
+:func:`build_workflow` turns a spec into a schedulable
+:class:`~repro.scheduler.workflow.Workflow` — the metascheduler places
+every admitted job through the existing GrADS workflow scheduler, so
+one placement engine serves both the single-app experiments and the
+multi-tenant stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.eman import EmanParameters, eman_refinement_workflow
+from ..apps.kernels import qr_matrix_bytes, qr_total_mflop
+from ..perfmodel.model import AnalyticComponentModel
+from ..scheduler.workflow import Workflow, WorkflowComponent
+
+__all__ = ["JobSpec", "JOB_KINDS", "build_workflow"]
+
+#: the heterogeneous application mix of the stream generator
+JOB_KINDS = ("qr", "eman", "nbody")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submission: who wants what, when, and how big."""
+
+    name: str
+    user: str
+    kind: str
+    submit_time: float
+    n_hosts: int
+    size: float
+    priority: int = 0
+    isa: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"have {list(JOB_KINDS)}")
+        if self.n_hosts < 1:
+            raise ValueError(f"{self.name}: n_hosts must be >= 1")
+        if self.size <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.submit_time < 0:
+            raise ValueError(f"{self.name}: negative submit time")
+
+
+def _qr_workflow(spec: JobSpec) -> Workflow:
+    """A block-QR factor/solve chain: a parallel panel sweep feeding a
+    serial back-substitution."""
+    n = float(spec.size)
+    wf = Workflow(spec.name)
+    wf.add_component(WorkflowComponent(
+        name="factor",
+        model=AnalyticComponentModel(mflop_fn=qr_total_mflop),
+        problem_size=n,
+        n_tasks=spec.n_hosts,
+        input_bytes_per_task=qr_matrix_bytes(int(n)) / spec.n_hosts,
+        output_bytes_per_task=qr_matrix_bytes(int(n)) / spec.n_hosts))
+    wf.add_component(WorkflowComponent(
+        name="solve",
+        model=AnalyticComponentModel(
+            mflop_fn=lambda size: 2.0 * size * size / 1e6),
+        problem_size=n,
+        n_tasks=1,
+        input_bytes_per_task=qr_matrix_bytes(int(n)) / 50.0))
+    wf.add_dependence("factor", "solve")
+    return wf
+
+
+def _eman_workflow(spec: JobSpec) -> Workflow:
+    """A reduced EMAN refinement round scaled by particle count."""
+    params = EmanParameters(n_particles=max(int(spec.size), 1),
+                            n_classes=16, box_size=16)
+    wf = eman_refinement_workflow(
+        params,
+        classesbymra_tasks=spec.n_hosts,
+        classalign_tasks=max(spec.n_hosts // 2, 1),
+        project_tasks=min(2, spec.n_hosts))
+    wf.name = spec.name
+    return wf
+
+
+def _nbody_workflow(spec: JobSpec) -> Workflow:
+    """One N-body step: an all-pairs force sweep and a serial reduce."""
+    bodies = float(spec.size)
+    wf = Workflow(spec.name)
+    wf.add_component(WorkflowComponent(
+        name="forces",
+        model=AnalyticComponentModel(
+            mflop_fn=lambda n: 20.0 * n * n / 1e6),
+        problem_size=bodies,
+        n_tasks=spec.n_hosts,
+        output_bytes_per_task=bodies * 48.0 / spec.n_hosts))
+    wf.add_component(WorkflowComponent(
+        name="reduce",
+        model=AnalyticComponentModel(
+            mflop_fn=lambda n: 10.0 * n / 1e6),
+        problem_size=bodies,
+        n_tasks=1,
+        input_bytes_per_task=bodies * 48.0))
+    wf.add_dependence("forces", "reduce")
+    return wf
+
+
+_BUILDERS = {
+    "qr": _qr_workflow,
+    "eman": _eman_workflow,
+    "nbody": _nbody_workflow,
+}
+
+
+def build_workflow(spec: JobSpec) -> Workflow:
+    """Materialize a spec as a schedulable workflow DAG."""
+    return _BUILDERS[spec.kind](spec)

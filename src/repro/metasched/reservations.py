@@ -1,0 +1,244 @@
+"""Per-host advance-reservation calendars.
+
+Each host owns a :class:`HostCalendar` of non-overlapping time
+intervals; a :class:`ReservationBook` aggregates the calendars of a
+whole testbed and answers the planning questions the metascheduler
+asks: "when is the earliest window in which ``n`` hosts are free for
+``duration`` seconds?" and "which hosts are spoken for during this
+interval?" (the latter is what keeps the rescheduler from migrating an
+application onto capacity another job has booked).
+
+Invariants (DESIGN.md §9):
+
+* intervals of unreleased reservations on one host never overlap —
+  :meth:`HostCalendar.reserve` refuses conflicting inserts, and
+  :meth:`ReservationBook.reserve_block` rolls back partial blocks;
+* a **claim** records actual occupancy: it starts when the job starts
+  and is truncated to the release instant when the job ends, so the
+  claim history is exactly the execution timeline.  ``audit()`` proves
+  no two claims ever overlapped on any host;
+* a claimed reservation whose estimated ``end`` has passed while the
+  job is still running occupies its hosts until released — planners
+  see an *effective* end pushed ``grace`` seconds past "now", which
+  bounds how often an overrun forces a re-plan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Reservation", "ReservationConflict", "HostCalendar",
+           "ReservationBook"]
+
+#: slack when comparing simulated times (floats accumulated over events)
+_EPS = 1e-9
+
+#: reservation lifecycle states
+RESERVED = "reserved"
+CLAIMED = "claimed"
+RELEASED = "released"
+
+
+class ReservationConflict(RuntimeError):
+    """Raised when an insert would overlap an existing reservation."""
+
+
+class Reservation:
+    """One job's booking of one host over ``[start, end)``."""
+
+    __slots__ = ("job", "host", "start", "end", "state")
+
+    def __init__(self, job: str, host: str, start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError(f"empty reservation [{start}, {end})")
+        self.job = job
+        self.host = host
+        self.start = float(start)
+        self.end = float(end)
+        self.state = RESERVED
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return self.start < end - _EPS and start < self.end - _EPS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Reservation {self.job}@{self.host} "
+                f"[{self.start:.1f}, {self.end:.1f}) {self.state}>")
+
+
+class HostCalendar:
+    """Non-overlapping reservations for a single host."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        #: live (reserved or claimed) reservations, sorted by start
+        self._active: List[Reservation] = []
+        #: released claims, as (job, start, release_time) — the audit log
+        self.claim_history: List[Tuple[str, float, float]] = []
+
+    # -- queries -----------------------------------------------------------
+    def active(self) -> List[Reservation]:
+        return list(self._active)
+
+    def busy_during(self, start: float, end: float,
+                    now: float, grace: float) -> bool:
+        """Is any live reservation in the way of ``[start, end)``?
+
+        A claimed reservation that has outlived its estimate (the job is
+        still running past ``end``) blocks until ``now + grace``: the
+        planner re-checks at that horizon instead of busy-waiting.
+        """
+        for resv in self._active:
+            r_end = resv.end
+            if resv.state == CLAIMED and r_end <= now + _EPS:
+                r_end = now + grace
+            if resv.start < end - _EPS and start < r_end - _EPS:
+                return True
+        return False
+
+    def horizon_times(self, now: float, grace: float) -> List[float]:
+        """Candidate window-start instants: each live reservation's
+        effective end (overrunning claims push ``grace`` past now)."""
+        out = []
+        for resv in self._active:
+            r_end = resv.end
+            if resv.state == CLAIMED and r_end <= now + _EPS:
+                r_end = now + grace
+            out.append(r_end)
+        return out
+
+    # -- mutation ----------------------------------------------------------
+    def reserve(self, job: str, start: float, end: float) -> Reservation:
+        """Book ``[start, end)``; raises :class:`ReservationConflict`."""
+        for resv in self._active:
+            if resv.overlaps(start, end):
+                raise ReservationConflict(
+                    f"{self.host}: [{start:.1f}, {end:.1f}) for {job} "
+                    f"overlaps {resv!r}")
+        resv = Reservation(job, self.host, start, end)
+        self._active.append(resv)
+        self._active.sort(key=lambda r: r.start)
+        return resv
+
+    def claim(self, resv: Reservation, now: float) -> None:
+        """Mark a reservation as actually occupied from ``now`` on."""
+        if resv.state != RESERVED:
+            raise ValueError(f"cannot claim a {resv.state} reservation")
+        if resv not in self._active:
+            raise ValueError("reservation does not belong to this calendar")
+        resv.start = min(resv.start, now)
+        resv.state = CLAIMED
+
+    def release(self, resv: Reservation, now: float) -> None:
+        """End a reservation.  Claims are truncated/extended to the
+        actual release instant and logged for the overlap audit;
+        un-started reservations are simply cancelled."""
+        if resv.state == RELEASED:
+            raise ValueError("reservation already released")
+        self._active.remove(resv)
+        if resv.state == CLAIMED:
+            resv.end = max(now, resv.start + _EPS)
+            self.claim_history.append((resv.job, resv.start, resv.end))
+        resv.state = RELEASED
+
+    def audit(self) -> List[str]:
+        """Overlap violations among all claims, past and present."""
+        intervals = list(self.claim_history)
+        intervals.extend((r.job, r.start, math.inf)
+                         for r in self._active if r.state == CLAIMED)
+        intervals.sort(key=lambda item: (item[1], item[2], item[0]))
+        problems = []
+        for (job_a, start_a, end_a), (job_b, start_b, end_b) in zip(
+                intervals, intervals[1:]):
+            if start_b < end_a - _EPS:
+                problems.append(
+                    f"{self.host}: claims overlap — {job_a} "
+                    f"[{start_a:.3f}, {end_a:.3f}) and {job_b} "
+                    f"[{start_b:.3f}, {end_b:.3f})")
+        return problems
+
+
+class ReservationBook:
+    """The calendars of every host the metascheduler may book."""
+
+    def __init__(self, hosts: Iterable[str] = ()) -> None:
+        self._calendars: Dict[str, HostCalendar] = {
+            name: HostCalendar(name) for name in hosts}
+
+    def calendar(self, host: str) -> HostCalendar:
+        cal = self._calendars.get(host)
+        if cal is None:
+            cal = self._calendars[host] = HostCalendar(host)
+        return cal
+
+    def hosts(self) -> List[str]:
+        return sorted(self._calendars)
+
+    # -- block operations --------------------------------------------------
+    def reserve_block(self, job: str, hosts: Sequence[str], start: float,
+                      end: float) -> List[Reservation]:
+        """Reserve ``[start, end)`` on every host, atomically."""
+        made: List[Reservation] = []
+        try:
+            for host in hosts:
+                made.append(self.calendar(host).reserve(job, start, end))
+        except ReservationConflict:
+            for resv in made:
+                self.calendar(resv.host).release(resv, start)
+            raise
+        return made
+
+    def claim_block(self, reservations: Sequence[Reservation],
+                    now: float) -> None:
+        for resv in reservations:
+            self.calendar(resv.host).claim(resv, now)
+
+    def release_block(self, reservations: Sequence[Reservation],
+                      now: float) -> None:
+        for resv in reservations:
+            if resv.state != RELEASED:
+                self.calendar(resv.host).release(resv, now)
+
+    # -- planning ----------------------------------------------------------
+    def find_window(self, n_hosts: int, duration: float, not_before: float,
+                    candidates: Sequence[str], now: float,
+                    grace: float = 30.0
+                    ) -> Optional[Tuple[float, List[str]]]:
+        """Earliest ``(start, hosts)`` where ``n_hosts`` of the candidate
+        list (tried in the given preference order) are simultaneously
+        free for ``duration`` seconds.  ``None`` when no finite window
+        exists (never happens while calendars hold finite intervals).
+        """
+        if n_hosts < 1 or n_hosts > len(candidates):
+            return None
+        times = {not_before}
+        for host in candidates:
+            for t in self.calendar(host).horizon_times(now, grace):
+                if t > not_before + _EPS:
+                    times.add(t)
+        for start in sorted(times):
+            free = [host for host in candidates
+                    if not self.calendar(host).busy_during(
+                        start, start + duration, now, grace)]
+            if len(free) >= n_hosts:
+                return start, free[:n_hosts]
+        return None
+
+    def unavailable_hosts(self, start: float,
+                          end: float = math.inf) -> List[str]:
+        """Hosts with any live reservation overlapping ``[start, end)``
+        — the set a reservation-respecting rescheduler must avoid."""
+        out = []
+        for name in sorted(self._calendars):
+            for resv in self._calendars[name].active():
+                if resv.overlaps(start, end):
+                    out.append(name)
+                    break
+        return out
+
+    def audit(self) -> List[str]:
+        """All claim-overlap violations across every host (must be [])."""
+        problems: List[str] = []
+        for name in sorted(self._calendars):
+            problems.extend(self._calendars[name].audit())
+        return problems

@@ -133,7 +133,8 @@ class Rescheduler:
                  worst_case_migration_seconds: Optional[float] = 900.0,
                  min_benefit_seconds: float = 0.0,
                  migration_timeout_seconds: Optional[float] = None,
-                 blacklist_seconds: Optional[float] = None) -> None:
+                 blacklist_seconds: Optional[float] = None,
+                 reservations=None) -> None:
         """``mode``: "default" (cost/benefit), "force-migrate",
         "force-stay".  ``worst_case_migration_seconds`` replaces the
         application's own migration estimate when not None — the
@@ -147,6 +148,13 @@ class Rescheduler:
         wedged — and *blacklists* the target hosts.  ``None`` (default)
         disables the timeout.  Blacklisted hosts are excluded from
         candidate sets for ``blacklist_seconds`` (``None`` = forever).
+
+        ``reservations`` is an optional
+        :class:`~repro.metasched.reservations.ReservationBook` (any
+        object with ``unavailable_hosts(start)``): hosts another job
+        has reserved or claimed from "now" onward are excluded from
+        migration candidate sets, so a migration can never land on
+        capacity the metascheduler has already promised away.
         """
         if mode not in ("default", "force-migrate", "force-stay"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -163,6 +171,7 @@ class Rescheduler:
         self.min_benefit_seconds = min_benefit_seconds
         self.migration_timeout_seconds = migration_timeout_seconds
         self.blacklist_seconds = blacklist_seconds
+        self.reservations = reservations
         self.decisions: List[DecisionRecord] = []
         #: migration attempts abandoned on failure or timeout
         self.aborted_migrations = 0
@@ -186,10 +195,13 @@ class Rescheduler:
         """Cost/benefit of moving ``app`` now; None if no candidate set
         exists (mapper found nothing)."""
         current = list(app.current_hosts())
+        exclude = current + self.blacklisted_hosts()
+        if self.reservations is not None:
+            reserved = self.reservations.unavailable_hosts(self.sim.now)
+            exclude.extend(h for h in reserved if h not in current)
         try:
             new_hosts = list(candidate_hosts) if candidate_hosts is not None \
-                else app.propose_hosts(
-                    exclude=current + self.blacklisted_hosts())
+                else app.propose_hosts(exclude=exclude)
         except Exception:
             return None
         if not new_hosts or set(new_hosts) == set(current):

@@ -7,7 +7,10 @@ per agenda entry; the MicroGrid layers increment the substrate counters
 whenever a stale epoch-guarded completion wake-up fires, and the route
 cache hit/miss pair); the workflow scheduler increments the ``sched_*``
 trio (list-scheduling rounds, per-cell completion-time evaluations, and
-NWS transfer-forecast memo hits).  Counters are plain integer attributes on a
+NWS transfer-forecast memo hits); the metascheduler increments the
+``meta_*`` family (submissions, rejections, starts, completions,
+backfills, reservations, cumulative queue-wait and served
+cpu-seconds).  Counters are plain integer attributes on a
 slotted object, so updating one costs a single attribute store — cheap
 enough to leave enabled in every run.
 
@@ -35,6 +38,14 @@ class KernelStats:
         "sched_rounds",
         "sched_evaluations",
         "sched_memo_hits",
+        "meta_submitted",
+        "meta_rejected",
+        "meta_started",
+        "meta_completed",
+        "meta_backfilled",
+        "meta_reservations",
+        "meta_queue_wait_seconds",
+        "meta_cpu_seconds",
     )
 
     def __init__(self) -> None:
@@ -50,6 +61,14 @@ class KernelStats:
         self.sched_rounds = 0
         self.sched_evaluations = 0
         self.sched_memo_hits = 0
+        self.meta_submitted = 0
+        self.meta_rejected = 0
+        self.meta_started = 0
+        self.meta_completed = 0
+        self.meta_backfilled = 0
+        self.meta_reservations = 0
+        self.meta_queue_wait_seconds = 0.0
+        self.meta_cpu_seconds = 0.0
 
     @property
     def route_cache_hit_rate(self) -> float:
@@ -71,6 +90,14 @@ class KernelStats:
             "sched_rounds": self.sched_rounds,
             "sched_evaluations": self.sched_evaluations,
             "sched_memo_hits": self.sched_memo_hits,
+            "meta_submitted": self.meta_submitted,
+            "meta_rejected": self.meta_rejected,
+            "meta_started": self.meta_started,
+            "meta_completed": self.meta_completed,
+            "meta_backfilled": self.meta_backfilled,
+            "meta_reservations": self.meta_reservations,
+            "meta_queue_wait_seconds": self.meta_queue_wait_seconds,
+            "meta_cpu_seconds": self.meta_cpu_seconds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -92,6 +119,14 @@ def format_stats(stats: "KernelStats", elapsed_wall: float = 0.0) -> str:
         f"scheduler rounds     : {stats.sched_rounds}",
         f"candidate evals      : {stats.sched_evaluations}",
         f"forecast memo hits   : {stats.sched_memo_hits}",
+        f"jobs submitted       : {stats.meta_submitted}",
+        f"jobs rejected        : {stats.meta_rejected}",
+        f"jobs started         : {stats.meta_started}",
+        f"jobs completed       : {stats.meta_completed}",
+        f"jobs backfilled      : {stats.meta_backfilled}",
+        f"reservations made    : {stats.meta_reservations}",
+        f"queue-wait seconds   : {stats.meta_queue_wait_seconds:.1f}",
+        f"cpu-seconds served   : {stats.meta_cpu_seconds:.1f}",
     ]
     if elapsed_wall > 0:
         rate = stats.events_processed / elapsed_wall

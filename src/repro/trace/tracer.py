@@ -37,6 +37,7 @@ CATEGORIES: Tuple[str, ...] = (
     "contract",    # ratio samples, violations, migration requests
     "reschedule",  # SRS checkpoint/restart, swaps, rescheduler decisions
     "fault",       # failure injections and every recovery decision
+    "metasched",   # submission-service lifecycle (queue/reserve/start/...)
     "meta",        # run markers written by the experiment drivers
 )
 

@@ -1,0 +1,66 @@
+"""The repo-wide --seed convention (DESIGN.md §9.5).
+
+Every experiment driver accepts ``seed`` (default 0), stamps it into
+its ``meta`` trace marker, and two same-seed runs produce identical
+results.  The CLI parser side (every subcommand takes ``--seed``) is
+pinned in ``tests/test_cli.py``.
+"""
+
+from repro.experiments.fig3_qr import run_fig3
+from repro.experiments.fig4_swap import run_fig4
+from repro.experiments.metasched_stream import run_metasched
+from repro.experiments.opportunistic import run_opportunistic
+from repro.trace import Tracer
+
+
+def meta_args(tracer):
+    (marker,) = [r for r in tracer.select("meta") if r.name == "run"]
+    return marker.args
+
+
+class TestSeedRecordedInMetaTrace:
+    def test_fig3(self):
+        tracer = Tracer(categories=["meta"])
+        run_fig3(sizes=(4000,), with_decisions=False, seed=9,
+                 tracer=tracer)
+        assert all(r.args["seed"] == 9 for r in tracer.select("meta"))
+
+    def test_fig4(self):
+        tracer = Tracer(categories=["meta"])
+        run_fig4(n_iterations=5, with_swapping=False, seed=9,
+                 tracer=tracer)
+        assert meta_args(tracer)["seed"] == 9
+
+    def test_opportunistic(self):
+        tracer = Tracer(categories=["meta"])
+        run_opportunistic(enable=False, seed=9, tracer=tracer)
+        assert meta_args(tracer)["seed"] == 9
+
+    def test_metasched(self):
+        tracer = Tracer(categories=["meta"])
+        run_metasched(users=2, arrival_rate=0.01, duration=300.0, seed=9,
+                      max_jobs=3, tracer=tracer)
+        assert meta_args(tracer)["seed"] == 9
+
+
+class TestSameSeedSameResult:
+    def test_fig3(self):
+        a = run_fig3(sizes=(4000,), with_decisions=False, seed=4)
+        b = run_fig3(sizes=(4000,), with_decisions=False, seed=4)
+        assert [(p.n, p.mode, p.total_seconds, p.phases)
+                for p in a.points] == \
+               [(p.n, p.mode, p.total_seconds, p.phases)
+                for p in b.points]
+
+    def test_fig4(self):
+        a = run_fig4(n_iterations=10, with_swapping=False, seed=4)
+        b = run_fig4(n_iterations=10, with_swapping=False, seed=4)
+        assert a.finished_at == b.finished_at
+        assert [(p.time, p.iteration) for p in a.progress] == \
+            [(p.time, p.iteration) for p in b.progress]
+
+    def test_metasched(self):
+        kwargs = dict(users=2, arrival_rate=0.02, duration=600.0,
+                      seed=4, max_jobs=5)
+        assert run_metasched(**kwargs).to_json() == \
+            run_metasched(**kwargs).to_json()

@@ -73,7 +73,9 @@ class TestCampaign:
     def test_report_structure_and_summary(self):
         result = run_campaign(tiny_spec(trials=2), with_scenarios=False)
         report = result.report()
-        assert set(report) == {"spec", "cells", "scenarios", "summary"}
+        assert set(report) == {"schema_version", "spec", "cells",
+                               "scenarios", "summary"}
+        assert report["schema_version"] == 1
         assert len(report["cells"]) == 2
         summary = report["summary"]
         assert summary["trials"] == 2

@@ -1,0 +1,69 @@
+"""The open-loop Poisson stream generator."""
+
+import pytest
+
+from repro.metasched.arrivals import DEFAULT_MIX, generate_stream
+from repro.metasched.jobs import JOB_KINDS
+from repro.sim.rng import RngRegistry
+
+
+class TestGenerateStream:
+    def test_same_seed_same_stream(self):
+        a = generate_stream(4, 0.01, 3600.0, RngRegistry(42))
+        b = generate_stream(4, 0.01, 3600.0, RngRegistry(42))
+        assert [(s.name, s.submit_time, s.kind, s.size, s.n_hosts)
+                for s in a] == \
+               [(s.name, s.submit_time, s.kind, s.size, s.n_hosts)
+                for s in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_stream(4, 0.01, 3600.0, RngRegistry(0))
+        b = generate_stream(4, 0.01, 3600.0, RngRegistry(1))
+        assert [s.submit_time for s in a] != [s.submit_time for s in b]
+
+    def test_ordered_and_within_duration(self):
+        specs = generate_stream(4, 0.02, 1800.0, RngRegistry(0))
+        times = [s.submit_time for s in specs]
+        assert times == sorted(times)
+        assert all(0.0 < t <= 1800.0 for t in times)
+
+    def test_rate_roughly_matches(self):
+        specs = generate_stream(8, 0.05, 20000.0, RngRegistry(3))
+        # Poisson with mean 1000 arrivals; a factor-of-two band is
+        # astronomically safe and still catches rate bugs.
+        assert 500 < len(specs) < 2000
+
+    def test_max_jobs_caps_stream(self):
+        specs = generate_stream(4, 0.05, 1e6, RngRegistry(0), max_jobs=37)
+        assert len(specs) == 37
+
+    def test_specs_are_valid(self):
+        for s in generate_stream(4, 0.02, 5000.0, RngRegistry(5)):
+            assert s.kind in JOB_KINDS
+            assert s.n_hosts >= 1
+            assert s.size > 0
+            assert s.name.startswith(s.user)
+
+    def test_users_stay_in_range(self):
+        specs = generate_stream(3, 0.05, 5000.0, RngRegistry(9))
+        users = {s.user for s in specs}
+        assert users <= {"u0", "u1", "u2"}
+        assert len(users) > 1
+
+    def test_bad_arguments_rejected(self):
+        rng = RngRegistry(0)
+        with pytest.raises(ValueError):
+            generate_stream(0, 0.01, 100.0, rng)
+        with pytest.raises(ValueError):
+            generate_stream(1, 0.0, 100.0, rng)
+        with pytest.raises(ValueError):
+            generate_stream(1, 0.01, 0.0, rng)
+        with pytest.raises(ValueError):
+            generate_stream(1, 0.01, 100.0, rng, mix=())
+        with pytest.raises(ValueError):
+            generate_stream(1, 0.01, 100.0, rng,
+                            mix=(("warp", 1.0, (1.0, 2.0), (1, 2)),))
+
+    def test_default_mix_covers_all_kinds(self):
+        assert sorted(entry[0] for entry in DEFAULT_MIX) == \
+            sorted(JOB_KINDS)

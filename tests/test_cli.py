@@ -35,9 +35,23 @@ class TestParser:
             args = build_parser().parse_args([command, "--trace", "t.json"])
             assert args.trace == "t.json"
 
+    def test_every_experiment_accepts_seed(self):
+        # the repo-wide convention: every experiment subcommand takes
+        # --seed (default 0)
+        for argv in (["fig3"], ["fig4"], ["eman"], ["opportunistic"],
+                     ["faults", "run"], ["metasched", "run"]):
+            args = build_parser().parse_args(argv)
+            assert args.seed == 0, argv
+            args = build_parser().parse_args(argv + ["--seed", "7"])
+            assert args.seed == 7, argv
+
     def test_trace_group_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+    def test_metasched_group_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metasched"])
 
 
 class TestCommands:
@@ -82,6 +96,7 @@ class TestCommands:
         rc = main(["bench", "--transfers", "60", "--json"])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
         assert payload["allocator"] == "incremental"
         assert payload["transfers_completed"] == 60
         assert payload["events_processed"] > 0
@@ -91,6 +106,7 @@ class TestCommands:
                    "--json"])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
         assert payload["policy"] == "none"
         assert payload["iterations"] == 10
         assert payload["stats"]["events_processed"] > 0
@@ -105,6 +121,65 @@ class TestCommands:
         assert main(["fig4", "--iterations", "5"]) == 1
         err = capsys.readouterr().err
         assert "synthetic failure" in err
+
+
+class TestMetaschedCommands:
+    ARGS = ["metasched", "run", "--users", "3", "--arrival-rate", "0.01",
+            "--duration", "900", "--seed", "3"]
+
+    def test_run_tables(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metasched:" in out
+        assert "0 reservation conflicts" in out
+        assert "stream summary" in out
+
+    def test_run_json_same_seed_byte_identical(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema_version"] == 1
+        assert payload["conflicts"] == []
+        assert payload["summary"]["submitted"] == len(payload["jobs"])
+        assert payload["counters"]["meta_submitted"] == len(payload["jobs"])
+
+    def test_run_out_and_report(self, tmp_path, capsys):
+        out_path = tmp_path / "stream.json"
+        assert main(self.ARGS + ["--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["metasched", "report", str(out_path)]) == 0
+        assert "stream summary" in capsys.readouterr().out
+
+    def test_run_trace_carries_metasched_lane(self, tmp_path):
+        path = tmp_path / "m.trace.json"
+        assert main(self.ARGS + ["--trace", str(path)]) == 0
+        obj = json.loads(path.read_text())
+        cats = {e.get("cat") for e in obj["traceEvents"]}
+        assert "metasched" in cats
+
+    def test_run_bad_usage(self, capsys):
+        assert main(["metasched", "run", "--users", "0"]) == 2
+        assert main(["metasched", "run", "--arrival-rate", "-1"]) == 2
+
+    def test_report_conflict_exits_one(self, tmp_path, capsys):
+        doctored = {
+            "schema_version": 1,
+            "params": {}, "jobs": [], "counters":
+                {"meta_reservations": 0},
+            "conflicts": ["h: claims overlap"],
+            "summary": {"submitted": 0, "completed": 0, "rejected": 0,
+                        "conflicts": 1, "makespan_seconds": 0.0,
+                        "throughput_jobs_per_hour": 0.0,
+                        "mean_queue_wait_seconds": 0.0,
+                        "backfilled": 0, "failed": 0},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doctored))
+        assert main(["metasched", "report", str(path)]) == 1
 
 
 class TestTraceCommands:
