@@ -2,9 +2,14 @@
 
 Serves an open-loop Poisson stream of synthetic multi-tenant jobs (QR,
 EMAN, N-body) through :class:`repro.metasched.MetaScheduler` on the
-Figure 3 testbed, then packages the outcome — per-job rows, the
-``meta_*`` counters, and the reservation-conflict audit — as a
-deterministic report: same seed, same bytes.
+Figure 3 testbed (or a larger multi-cluster grid via ``n_hosts``), then
+packages the outcome — per-job rows, the ``meta_*`` counters, and the
+reservation-conflict audit — as a deterministic report: same seed, same
+bytes.  The planning ``engine`` ("fast" or "reference", DESIGN.md §9.6)
+never changes the report: both engines produce byte-identical same-seed
+JSON, which is why the engine-performance ``meta_plan_*`` counters are
+excluded from :meth:`MetaschedResult.report` (the full snapshot stays
+on :attr:`MetaschedResult.counters`).
 """
 
 from __future__ import annotations
@@ -15,13 +20,28 @@ from typing import Dict, List, Optional
 
 from ..gis.directory import GridInformationService
 from ..metasched import MetaScheduler, generate_stream
-from ..microgrid.testbed import fig3_testbed
+from ..microgrid.cluster import Cluster
+from ..microgrid.dml import Grid
+from ..microgrid.testbed import (
+    ARCH_ATHLON_1700,
+    ARCH_PII_450,
+    ARCH_PII_550,
+    ARCH_PIII_933,
+    GB1,
+    INTERNET_BW,
+    fig3_testbed,
+)
 from ..nws.service import NetworkWeatherService
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from .common import JSON_SCHEMA_VERSION, format_table
 
-__all__ = ["MetaschedResult", "run_metasched", "metasched_tables"]
+__all__ = ["MetaschedResult", "run_metasched", "metasched_scale_grid",
+           "metasched_tables"]
+
+#: counter-name prefix excluded from deterministic reports — these
+#: describe *how* the plan was computed and differ across engines
+_ENGINE_COUNTER_PREFIX = "meta_plan_"
 
 
 @dataclass
@@ -34,7 +54,9 @@ class MetaschedResult:
     seed: int
     max_jobs: Optional[int]
     finished_at: float
+    n_hosts: Optional[int] = None
     jobs: List[dict] = field(default_factory=list)
+    #: full KernelStats snapshot, ``meta_plan_*`` included
     counters: Dict[str, float] = field(default_factory=dict)
     conflicts: List[str] = field(default_factory=list)
 
@@ -58,6 +80,9 @@ class MetaschedResult:
         }
 
     def report(self) -> dict:
+        """Engine-independent report: the ``meta_plan_*`` counters (and
+        the engine choice itself) are deliberately absent, so the fast
+        and reference planners emit byte-identical same-seed JSON."""
         return {
             "schema_version": JSON_SCHEMA_VERSION,
             "params": {
@@ -66,9 +91,12 @@ class MetaschedResult:
                 "duration": self.duration,
                 "seed": self.seed,
                 "max_jobs": self.max_jobs,
+                "n_hosts": self.n_hosts,
             },
             "jobs": self.jobs,
-            "counters": self.counters,
+            "counters": {name: value
+                         for name, value in self.counters.items()
+                         if not name.startswith(_ENGINE_COUNTER_PREFIX)},
             "conflicts": self.conflicts,
             "summary": self.summary(),
         }
@@ -98,25 +126,69 @@ def _job_row(state) -> dict:
     }
 
 
+#: per-cluster architectures for :func:`metasched_scale_grid` — all
+#: ia32 (every synthetic job kind can land anywhere), heterogeneous
+#: speeds so the fair-share planner has real choices.
+_SCALE_ARCHS = (ARCH_PII_450, ARCH_PII_550, ARCH_PIII_933,
+                ARCH_ATHLON_1700)
+
+
+def metasched_scale_grid(sim: Simulator, n_hosts: int) -> Grid:
+    """A larger metascheduler testbed: ``n_hosts`` spread over four
+    heterogeneous ia32 clusters chained by Internet links (the stream
+    benchmark's 64-host configuration; any size >= 4 works)."""
+    if n_hosts < len(_SCALE_ARCHS):
+        raise ValueError(f"need at least {len(_SCALE_ARCHS)} hosts")
+    grid = Grid(sim)
+    per_cluster = n_hosts // len(_SCALE_ARCHS)
+    extra = n_hosts - per_cluster * len(_SCALE_ARCHS)
+    clusters = []
+    for c, arch in enumerate(_SCALE_ARCHS):
+        size = per_cluster + (1 if c < extra else 0)
+        clusters.append(grid.add_cluster(Cluster(
+            sim, grid.topology, f"c{c}", arch=arch, n_hosts=size,
+            cores_per_host=1, link_bandwidth=GB1, link_latency=1e-4,
+            site=f"SITE{c}")))
+    for a, b in zip(clusters, clusters[1:]):
+        grid.topology.add_link(a.switch, b.switch,
+                               bandwidth=INTERNET_BW, latency=0.011)
+    return grid
+
+
 def run_metasched(users: int = 4, arrival_rate: float = 1 / 120.0,
                   duration: float = 3600.0, seed: int = 0,
                   max_jobs: Optional[int] = None,
                   max_queue: Optional[int] = None,
                   max_per_user: Optional[int] = None,
+                  engine: str = "fast",
+                  n_hosts: Optional[int] = None,
+                  cpu_period: float = 10.0,
                   tracer=None) -> MetaschedResult:
-    """Serve one synthetic job stream on the Figure 3 testbed."""
+    """Serve one synthetic job stream.
+
+    ``n_hosts=None`` runs on the Figure 3 testbed (12 hosts); an
+    integer builds the :func:`metasched_scale_grid` of that size.
+    ``cpu_period`` sets the NWS CPU-sensor cadence (long streams can
+    afford a coarser one).  ``engine`` selects the planner ("fast" or
+    "reference"); the report is byte-identical either way.
+    """
     sim = Simulator()
     if tracer is not None:
         tracer.bind(sim)
         tracer.instant("meta", "run", experiment="metasched", seed=seed,
                        users=users, arrival_rate=arrival_rate,
                        duration=duration)
-    grid = fig3_testbed(sim)
+    if n_hosts is None:
+        grid = fig3_testbed(sim)
+    else:
+        grid = metasched_scale_grid(sim, n_hosts)
     gis = GridInformationService()
     gis.register_grid(grid)
-    nws = NetworkWeatherService(sim, grid, deploy_network_sensors=False)
+    nws = NetworkWeatherService(sim, grid, cpu_period=cpu_period,
+                                deploy_network_sensors=False)
     service = MetaScheduler(sim, grid, gis, nws,
-                            max_queue=max_queue, max_per_user=max_per_user)
+                            max_queue=max_queue, max_per_user=max_per_user,
+                            engine=engine)
     specs = generate_stream(users, arrival_rate, duration,
                             RngRegistry(seed), max_jobs=max_jobs)
     done = service.run_stream(specs)
@@ -124,6 +196,7 @@ def run_metasched(users: int = 4, arrival_rate: float = 1 / 120.0,
     return MetaschedResult(
         users=users, arrival_rate=arrival_rate, duration=duration,
         seed=seed, max_jobs=max_jobs, finished_at=sim.now,
+        n_hosts=n_hosts,
         jobs=[_job_row(state) for state in service.states()],
         counters=sim.stats.snapshot(),
         conflicts=service.audit_conflicts())

@@ -10,7 +10,7 @@ testbed.  Lifecycle per submission::
 
 Planning is a *rolling re-plan*: at every scheduling round (triggered
 by a submission, a completion, or a reservation's start time arriving)
-the un-started plan is rebuilt from scratch in fair-share order against
+the un-started plan is brought up to date in fair-share order against
 live GIS/NWS state, while claims (running jobs) are immutable.  The
 head of the queue gets an advance reservation at the earliest window
 the calendars allow; lower-priority jobs may *backfill* — start
@@ -19,14 +19,36 @@ reservation ahead of them.  Claims therefore never overlap by
 construction, and :meth:`MetaScheduler.audit_conflicts` re-proves it
 from the recorded claim history.
 
+Two planning engines produce that plan (DESIGN.md §9.6):
+
+* ``engine="fast"`` (default) — a **delta re-plan**: the fair-share
+  order is computed once per round, and the prefix of jobs whose
+  planning inputs (queue position, candidate host set, estimate) are
+  unchanged since the previous round *keep* their reservations instead
+  of being cancelled and re-booked; the first changed position is the
+  dirty watermark from which the plan is rebuilt.  Any occupancy
+  change outside planning itself (a claim, a release, an overrunning
+  job) invalidates the whole plan — a kept reservation is therefore
+  provably identical to what a full rebuild would produce.  Estimates
+  are memoized per (job, candidate-prefix), candidate sets are
+  resolved once per ISA per round, and jobs behind a full reservation
+  depth get a single "free now?" probe instead of a full window sweep.
+* ``engine="reference"`` — the pre-overhaul planner: cancel every
+  un-started reservation, rebuild the plan from scratch with the
+  linear-scan window search.  Same decisions, byte-identical same-seed
+  reports; the equivalence suite asserts it.
+
 Everything the service does lands in the ``metasched`` trace lane
 (submit/queue/admit/reserve/backfill/start/complete/reject instants
 and one span per executed job) and in the always-on ``meta_*``
-counters of :class:`~repro.sim.stats.KernelStats`.
+counters of :class:`~repro.sim.stats.KernelStats`; the ``meta_plan_*``
+family (rounds, kept vs rebuilt reservations, window probes, estimate
+memo hits, scheduled wakes) exposes what the planning engine did.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,12 +65,20 @@ from .jobs import JobSpec, build_workflow
 from .queueing import FairShareQueue
 from .reservations import Reservation, ReservationBook
 
-__all__ = ["MetaScheduler", "JobState"]
+__all__ = ["MetaScheduler", "JobState", "ENGINES"]
 
 _EPS = 1e-9
 
 #: terminal job states
 _TERMINAL = ("rejected", "completed", "failed")
+
+#: selectable planning engines
+ENGINES = ("fast", "reference")
+
+#: per-position plan-signature kinds (fast engine bookkeeping)
+_SIG_SKIP = "skip"    # candidate set smaller than n_hosts
+_SIG_RESV = "resv"    # holds a planned advance reservation
+_SIG_PROBE = "probe"  # behind a full reservation depth; not startable
 
 
 @dataclass
@@ -67,7 +97,8 @@ class JobState:
     est_seconds: float = 0.0
     #: claims held while running
     claims: List[Reservation] = field(default_factory=list)
-    #: the current advance reservation (planning only, rebuilt per round)
+    #: the current advance reservation (planning only; the fast engine
+    #: carries it across rounds, the reference engine rebuilds it)
     planned: List[Reservation] = field(default_factory=list)
     #: last traced plan, to keep re-plans from spamming the trace
     last_plan: Optional[Tuple[float, Tuple[str, ...]]] = None
@@ -91,13 +122,16 @@ class MetaScheduler:
                  aging_weight: float = 1e-4,
                  reserve_depth: int = 4,
                  safety_factor: float = 2.0,
-                 grace_seconds: float = 30.0) -> None:
+                 grace_seconds: float = 30.0,
+                 engine: str = "fast") -> None:
         if reserve_depth < 1:
             raise ValueError("reserve_depth must be >= 1")
         if safety_factor < 1.0:
             raise ValueError("safety_factor must be >= 1.0")
         if grace_seconds <= 0:
             raise ValueError("grace_seconds must be positive")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
         self.sim = sim
         self.grid = grid
         self.gis = gis
@@ -111,16 +145,29 @@ class MetaScheduler:
             min_forecast=min_forecast)
         self.queue = FairShareQueue(aging_weight=aging_weight)
         self.book = ReservationBook(host_names)
+        self.book.stats = sim.stats
         self.scheduler = GradsWorkflowScheduler(gis, nws)
         self.executor = WorkflowExecutor(sim, grid.topology, gis)
         self.reserve_depth = reserve_depth
         self.safety_factor = safety_factor
         self.grace_seconds = grace_seconds
+        self.engine = engine
         self.jobs: Dict[str, JobState] = {}
         self.job_order: List[str] = []
         self._expected: Optional[int] = None
         self._done_event: Optional[Event] = None
-        self._next_wake = float("inf")
+        self._n_terminal = 0
+        #: start instants of armed-but-unfired wake callbacks, sorted
+        self._pending_wakes: List[float] = []
+        # -- fast-engine planning state (DESIGN.md §9.6) --
+        #: last round's per-position decisions: (name, candidates, kind, est)
+        self._plan_sig: List[Tuple[str, Tuple[str, ...], str, float]] = []
+        #: book.version() snapshot when that plan was recorded
+        self._plan_version: Optional[int] = None
+        #: interned candidate tuples per ISA (identity-comparable)
+        self._cand_intern: Dict[Optional[str], Tuple[str, ...]] = {}
+        #: (job, candidate-prefix) -> estimated seconds
+        self._est_memo: Dict[Tuple[str, Tuple[str, ...]], float] = {}
 
     # -- tracing ------------------------------------------------------------
     def _instant(self, name: str, **args) -> None:
@@ -146,6 +193,7 @@ class MetaScheduler:
             state.status = "rejected"
             state.reject_reason = reason
             stats.meta_rejected += 1
+            self._n_terminal += 1
             self._instant("reject", job=spec.name, reason=reason)
             self._check_all_done()
             return state
@@ -176,23 +224,34 @@ class MetaScheduler:
 
     # -- planning rounds ----------------------------------------------------
     def _round(self) -> None:
-        """Rebuild the un-started plan against live resource state."""
+        """Bring the un-started plan up to date with live resource state."""
         now = self.sim.now
-        for spec in self.queue.ordered(now):
+        self.sim.stats.meta_plan_rounds += 1
+        ordered = self.queue.ordered(now)
+        if self.engine == "reference":
+            self._round_reference(now, ordered)
+        else:
+            self._round_fast(now, ordered)
+        self._schedule_wake(now)
+
+    # .. the reference planner (pre-overhaul): cancel-all / rebuild-all ....
+    def _round_reference(self, now: float,
+                         ordered: Sequence[JobSpec]) -> None:
+        for spec in ordered:
             state = self.jobs[spec.name]
             if state.planned:
                 self.book.release_block(state.planned, now)
                 state.planned = []
         blocked = False
         reservations_made = 0
-        for spec in self.queue.ordered(now):
+        for spec in ordered:
             state = self.jobs[spec.name]
             candidates = self.admission.usable_hosts(spec)
             if len(candidates) < spec.n_hosts:
                 blocked = True
                 continue
             est = self._estimate_seconds(spec, candidates)
-            window = self.book.find_window(
+            window = self.book.find_window_reference(
                 spec.n_hosts, est, now, candidates, now, self.grace_seconds)
             if window is None:
                 blocked = True
@@ -206,25 +265,181 @@ class MetaScheduler:
                     state.planned = self.book.reserve_block(
                         spec.name, hosts, start, start + est)
                     reservations_made += 1
-                    plan = (start, tuple(hosts))
-                    if plan != state.last_plan:
-                        state.last_plan = plan
-                        self.sim.stats.meta_reservations += 1
-                        self._instant("reserve", job=spec.name,
-                                      start=start, end=start + est,
-                                      hosts=",".join(hosts))
-        self._schedule_wake(now)
+                    self.sim.stats.meta_plan_rebuilt += 1
+                    self._note_plan(state, start, hosts, est)
+
+    # .. the fast planner: delta re-plan from the dirty watermark ..........
+    def _round_fast(self, now: float, ordered: Sequence[JobSpec]) -> None:
+        stats = self.sim.stats
+        book = self.book
+        round_cands: Dict[Optional[str], Tuple[str, ...]] = {}
+
+        def candidates(spec: JobSpec) -> Tuple[str, ...]:
+            """Usable hosts, resolved once per ISA per round and
+            interned across rounds so unchanged sets compare by
+            identity in the plan signature."""
+            got = round_cands.get(spec.isa)
+            if got is None:
+                fresh = tuple(self.admission.usable_hosts(spec))
+                last = self._cand_intern.get(spec.isa)
+                got = last if last == fresh else fresh
+                self._cand_intern[spec.isa] = got
+                round_cands[spec.isa] = got
+            return got
+
+        # A kept reservation must be provably identical to a rebuild:
+        # any occupancy edit outside our own planning (claim/release/
+        # foreign booking) or an overrunning claim (whose effective end
+        # moves with `now`) voids the proof — rebuild everything.
+        dirty = (self._plan_version is None
+                 or book.version() != self._plan_version
+                 or book.has_overrun(now))
+        sig = self._plan_sig
+        new_sig: List[Tuple[str, Tuple[str, ...], str, float]] = []
+        blocked = False
+        reservations_made = 0
+        idx = 0
+        if not dirty:
+            # Replay the unchanged prefix of last round's decisions.
+            while idx < len(ordered) and idx < len(sig):
+                spec = ordered[idx]
+                entry = sig[idx]
+                if entry[0] != spec.name or entry[1] is not candidates(spec):
+                    break  # dirty watermark: order or candidates changed
+                state = self.jobs[spec.name]
+                kind = entry[2]
+                if kind == _SIG_SKIP:
+                    blocked = True
+                    new_sig.append(entry)
+                    idx += 1
+                    continue
+                est = entry[3]
+                if kind == _SIG_RESV:
+                    start = state.planned[0].start
+                    if start > now + _EPS:
+                        blocked = True
+                        reservations_made += 1
+                        stats.meta_plan_kept += 1
+                        new_sig.append(entry)
+                        idx += 1
+                        continue
+                    # The reserved start has arrived: convert the
+                    # reservation into a start on the very hosts it
+                    # booked (what a rebuild would re-derive).
+                    hosts = [resv.host for resv in state.planned]
+                    book.release_block(state.planned, now)
+                    state.planned = []
+                    self._start_job(state, hosts, est, backfilled=blocked)
+                    idx += 1
+                    break  # depth accounting changed; rebuild the rest
+                # _SIG_PROBE: behind a full depth — start now or stay.
+                free = book.free_now(spec.n_hosts, est, entry[1], now,
+                                     self.grace_seconds)
+                if free is None:
+                    blocked = True
+                    new_sig.append(entry)
+                    idx += 1
+                    continue
+                self._start_job(state, free, est, backfilled=blocked)
+                idx += 1
+                break  # a new claim landed; rebuild the rest
+
+        # Cancel what was not kept, then re-plan from the watermark.
+        for spec in ordered[idx:]:
+            state = self.jobs[spec.name]
+            if state.planned and state.status == "queued":
+                book.release_block(state.planned, now)
+                state.planned = []
+        for spec in ordered[idx:]:
+            state = self.jobs[spec.name]
+            if state.status != "queued":
+                continue
+            cand = candidates(spec)
+            if len(cand) < spec.n_hosts:
+                blocked = True
+                new_sig.append((spec.name, cand, _SIG_SKIP, 0.0))
+                continue
+            est = self._estimate(spec, cand)
+            if reservations_made >= self.reserve_depth:
+                # Depth exhausted: the only observable decision left is
+                # "start immediately or stay blocked" — one probe.
+                free = book.free_now(spec.n_hosts, est, cand, now,
+                                     self.grace_seconds)
+                if free is not None:
+                    self._start_job(state, free, est, backfilled=blocked)
+                else:
+                    blocked = True
+                    new_sig.append((spec.name, cand, _SIG_PROBE, est))
+                continue
+            window = book.find_window(spec.n_hosts, est, now, cand, now,
+                                      self.grace_seconds)
+            if window is None:
+                blocked = True
+                continue
+            start, hosts = window
+            if start <= now + _EPS:
+                self._start_job(state, hosts, est, backfilled=blocked)
+            else:
+                blocked = True
+                state.planned = book.reserve_block(
+                    spec.name, hosts, start, start + est)
+                reservations_made += 1
+                stats.meta_plan_rebuilt += 1
+                self._note_plan(state, start, hosts, est)
+                new_sig.append((spec.name, cand, _SIG_RESV, est))
+        self._plan_sig = new_sig
+        self._plan_version = book.version()
+
+    def _note_plan(self, state: JobState, start: float,
+                   hosts: Sequence[str], est: float) -> None:
+        """Count/trace a reservation only when the plan actually moved."""
+        plan = (start, tuple(hosts))
+        if plan != state.last_plan:
+            state.last_plan = plan
+            self.sim.stats.meta_reservations += 1
+            self._instant("reserve", job=state.spec.name,
+                          start=start, end=start + est,
+                          hosts=",".join(hosts))
 
     def _schedule_wake(self, now: float) -> None:
+        """Arm a wake at the earliest planned start, unless a pending
+        wake at or before it will already trigger a round (which would
+        re-arm for anything still planned then).  Fired wakes remove
+        themselves from the pending list, so a stale past instant can
+        never force a redundant re-arm."""
         earliest = float("inf")
-        for spec in self.queue.ordered(now):
-            for resv in self.jobs[spec.name].planned:
-                earliest = min(earliest, resv.start)
+        for spec in self.queue.specs():
+            planned = self.jobs[spec.name].planned
+            if planned and planned[0].start < earliest:
+                earliest = planned[0].start
         if earliest == float("inf"):
             return
-        if self._next_wake <= now + _EPS or earliest < self._next_wake - _EPS:
-            self._next_wake = earliest
-            self.sim.call_at(earliest, self._round)
+        pending = self._pending_wakes
+        if pending and pending[0] <= earliest + _EPS:
+            return
+        insort(pending, earliest)
+        self.sim.stats.meta_plan_wakes += 1
+        self.sim.call_at(earliest, lambda when=earliest: self._wake(when))
+
+    def _wake(self, when: float) -> None:
+        pending = self._pending_wakes
+        i = bisect_left(pending, when)
+        if i < len(pending) and pending[i] == when:  # simlint: ignore[SL005] — removes the exact float armed earlier, no arithmetic in between
+            del pending[i]
+        self._round()
+
+    def _estimate(self, spec: JobSpec,
+                  candidates: Tuple[str, ...]) -> float:
+        """Memoized :meth:`_estimate_seconds` — the estimate is a pure
+        function of the job and the candidate prefix that sizes it."""
+        key = (spec.name, candidates[:spec.n_hosts])
+        est = self._est_memo.get(key)
+        if est is None:
+            est = self._estimate_seconds(spec, candidates)
+            self._est_memo[key] = est
+        else:
+            self.sim.stats.meta_plan_estimate_memo_hits += 1
+        return est
 
     def _estimate_seconds(self, spec: JobSpec,
                           candidates: Sequence[str]) -> float:
@@ -244,6 +459,9 @@ class MetaScheduler:
         spec = state.spec
         now = self.sim.now
         self.queue.remove(spec.name)
+        if state.planned:  # safety net; engines release before starting
+            self.book.release_block(state.planned, now)
+            state.planned = []
         state.claims = self.book.reserve_block(
             spec.name, hosts, now, now + est)
         self.book.claim_block(state.claims, now)
@@ -295,6 +513,7 @@ class MetaScheduler:
         state.finished_at = now
         state.status = "completed" if ok else "failed"
         state.error = error
+        self._n_terminal += 1
         elapsed = now - (state.started_at if state.started_at is not None
                          else now)
         cpu_seconds = elapsed * len(state.hosts)
@@ -317,14 +536,15 @@ class MetaScheduler:
 
     # -- bookkeeping -------------------------------------------------------
     def _check_all_done(self) -> None:
+        """O(1): a maintained terminal counter replaces the per-call
+        scan over every job state."""
         if self._done_event is None or self._done_event.triggered:
             return
         if self._expected is None:
             return
-        terminal = sum(1 for state in self.jobs.values()
-                       if state.status in _TERMINAL)
-        if len(self.jobs) >= self._expected and terminal == len(self.jobs):
-            self._done_event.succeed(terminal)
+        if (len(self.jobs) >= self._expected
+                and self._n_terminal == len(self.jobs)):
+            self._done_event.succeed(self._n_terminal)
 
     def audit_conflicts(self) -> List[str]:
         """Claim-overlap violations across all hosts; must be empty."""

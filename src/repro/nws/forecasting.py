@@ -12,7 +12,7 @@ all of them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,14 +107,21 @@ class SlidingWindowMedian(Forecaster):
         self.window = window
         self.name = f"win_median_{window}"
         self._buf: Deque[float] = deque(maxlen=window)
+        self._cached: Optional[float] = None
+        self._dirty = True
 
     def update(self, value: float) -> None:
         self._buf.append(value)
+        self._dirty = True
 
     def predict(self) -> Optional[float]:
-        if not self._buf:
-            return None
-        return float(np.median(list(self._buf)))
+        # The median only changes when the buffer does; callers (the
+        # adaptive selector, admission control) ask far more often.
+        if self._dirty:
+            self._cached = (float(np.median(list(self._buf)))
+                            if self._buf else None)
+            self._dirty = False
+        return self._cached
 
 
 class ExponentialSmoothing(Forecaster):
@@ -155,11 +162,23 @@ class AutoRegressive(Forecaster):
         self.window = window
         self.name = f"ar_{order}"
         self._buf: Deque[float] = deque(maxlen=window)
+        self._cached: Optional[float] = None
+        self._dirty = True
 
     def update(self, value: float) -> None:
         self._buf.append(value)
+        self._dirty = True
 
     def predict(self) -> Optional[float]:
+        # One least-squares fit per *measurement*, not per query: the
+        # fit is a pure function of the buffer, so it is cached until
+        # the next update.
+        if self._dirty:
+            self._cached = self._fit_predict()
+            self._dirty = False
+        return self._cached
+
+    def _fit_predict(self) -> Optional[float]:
         n = len(self._buf)
         if n == 0:
             return None
@@ -212,30 +231,45 @@ class AdaptiveForecaster(Forecaster):
         self._abs_err: Dict[str, float] = {f.name: 0.0 for f in self.battery}
         self._n_scored = 0
         self._history: List[float] = []
+        #: (best method, its prediction); None until asked, dropped on
+        #: every update — the selection is a pure function of the series
+        self._choice: Optional[Tuple[Optional[Forecaster],
+                                     Optional[float]]] = None
 
     def update(self, value: float) -> None:
         # Score yesterday's predictions against today's truth (postcast),
-        # then let every method absorb the new measurement.
-        for method in self.battery:
-            pred = method.predict()
+        # then let every method absorb the new measurement.  Each
+        # member's prediction is read once and reused for both the
+        # scoring pass and the scored-round check.
+        preds = [method.predict() for method in self.battery]
+        for method, pred in zip(self.battery, preds):
             if pred is not None:
                 self._abs_err[method.name] += abs(pred - value)
-        if any(m.predict() is not None for m in self.battery):
+        if any(pred is not None for pred in preds):
             self._n_scored += 1
         for method in self.battery:
             method.update(value)
         self._history.append(value)
+        self._choice = None
+
+    def _select(self) -> Tuple[Optional[Forecaster], Optional[float]]:
+        if self._choice is None:
+            candidates = [m for m in self.battery
+                          if m.predict() is not None]
+            if not candidates:
+                self._choice = (None, None)
+            else:
+                best = min(candidates,
+                           key=lambda m: self._abs_err[m.name])
+                self._choice = (best, best.predict())
+        return self._choice
 
     def predict(self) -> Optional[float]:
-        best = self.best_method()
-        return best.predict() if best is not None else None
+        return self._select()[1]
 
     def best_method(self) -> Optional[Forecaster]:
         """The battery member with the lowest cumulative error so far."""
-        candidates = [m for m in self.battery if m.predict() is not None]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda m: self._abs_err[m.name])
+        return self._select()[0]
 
     def errors(self) -> Dict[str, float]:
         """Mean absolute error per method over the scored history."""

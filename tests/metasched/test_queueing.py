@@ -64,3 +64,60 @@ class TestFairShareQueue:
     def test_negative_aging_weight_rejected(self):
         with pytest.raises(ValueError):
             FairShareQueue(aging_weight=-1.0)
+
+    def test_specs_preserves_arrival_order(self):
+        q = FairShareQueue()
+        q.charge("hog", 5000.0)
+        q.push(spec("hog-job", "hog"))
+        q.push(spec("light-job", "light"))
+        # dispatch order reranks; specs() never does
+        assert [s.name for s in q.ordered(0.0)] == ["light-job", "hog-job"]
+        assert [s.name for s in q.specs()] == ["hog-job", "light-job"]
+
+
+class TestOrderMemoization:
+    """ordered() is computed once per mutation epoch (DESIGN.md §9.6):
+    every queued job ages at the same rate, so the relative ranking is
+    invariant in ``now`` until push/remove/charge changes the world."""
+
+    def test_order_is_time_invariant_between_mutations(self):
+        q = FairShareQueue()
+        q.charge("hog", 5000.0)
+        q.push(spec("hog-job", "hog"))
+        q.push(spec("light-job", "light"))
+        first = [s.name for s in q.ordered(0.0)]
+        assert [s.name for s in q.ordered(9999.0)] == first
+
+    def test_returned_list_is_a_copy(self):
+        q = FairShareQueue()
+        q.push(spec("a", "u0"))
+        q.push(spec("b", "u1"))
+        order = q.ordered(0.0)
+        order.clear()
+        assert [s.name for s in q.ordered(0.0)] == ["a", "b"]
+
+    def test_push_invalidates_cache(self):
+        q = FairShareQueue()
+        q.charge("hog", 5000.0)
+        q.push(spec("hog-job", "hog"))
+        assert [s.name for s in q.ordered(0.0)] == ["hog-job"]
+        q.push(spec("light-job", "light"))
+        assert [s.name for s in q.ordered(0.0)] == ["light-job", "hog-job"]
+
+    def test_remove_invalidates_cache(self):
+        q = FairShareQueue()
+        q.charge("hog", 5000.0)
+        q.push(spec("hog-job", "hog"))
+        q.push(spec("light-job", "light"))
+        assert [s.name for s in q.ordered(0.0)] == ["light-job", "hog-job"]
+        q.remove("light-job")
+        assert [s.name for s in q.ordered(0.0)] == ["hog-job"]
+
+    def test_charge_invalidates_cache(self):
+        q = FairShareQueue()
+        q.push(spec("a", "u0"))
+        q.push(spec("b", "u1"))
+        assert [s.name for s in q.ordered(0.0)] == ["a", "b"]
+        # u0 burns cpu-seconds: the next round must re-rank
+        q.charge("u0", 5000.0)
+        assert [s.name for s in q.ordered(0.0)] == ["b", "a"]

@@ -1,4 +1,4 @@
-"""Reservation calendar invariants (DESIGN.md §9.3)."""
+"""Reservation calendar invariants (DESIGN.md §9.3, §9.6)."""
 
 import math
 
@@ -9,6 +9,7 @@ from repro.metasched.reservations import (
     Reservation,
     ReservationBook,
     ReservationConflict,
+    _dedup_times,
 )
 
 
@@ -146,3 +147,130 @@ class TestReservationBook:
         problems = book.audit()
         assert len(problems) == 1
         assert problems[0].startswith("h2:")
+
+
+class TestCandidateTimeDedup:
+    """Eps-close floats are one candidate start, not several."""
+
+    def test_dedup_collapses_within_eps(self):
+        times = [100.0, 100.0 + 5e-10, 0.0, 100.0 - 3e-10, 200.0]
+        assert _dedup_times(times) == [0.0, 100.0 - 3e-10, 200.0]
+
+    def test_dedup_keeps_distinct_instants(self):
+        assert _dedup_times([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_find_window_merges_eps_close_reservation_ends(self):
+        # Two hosts whose reservations end a sub-eps apart: the sweep
+        # must treat that as ONE candidate start on both engines.
+        book = ReservationBook(["h1", "h2"])
+        book.reserve_block("a", ["h1"], 0.0, 100.0)
+        book.reserve_block("b", ["h2"], 0.0, 100.0 + 5e-10)
+        got = book.find_window(2, 50.0, 0.0, ["h1", "h2"], 0.0)
+        want = book.find_window_reference(2, 50.0, 0.0, ["h1", "h2"], 0.0)
+        assert got == want
+        start, hosts = got
+        assert hosts == ["h1", "h2"]
+        assert abs(start - 100.0) < 1e-9
+
+
+class TestUnavailableHostsDefaults:
+    """``unavailable_hosts(start)`` with no ``end`` means "from start
+    onwards, forever" — the rescheduler's conservative question."""
+
+    def test_default_end_is_open_ended(self):
+        book = ReservationBook(["h1", "h2"])
+        book.reserve_block("far", ["h2"], 1e9, 1e9 + 60.0)
+        # with an explicit horizon the far-future booking is invisible...
+        assert book.unavailable_hosts(0.0, 100.0) == []
+        # ...with the default end=inf it is not
+        assert book.unavailable_hosts(0.0) == ["h2"]
+
+    def test_released_reservations_never_count(self):
+        book = ReservationBook(["h1"])
+        resvs = book.reserve_block("a", ["h1"], 0.0, 100.0)
+        book.release_block(resvs, 10.0)
+        assert book.unavailable_hosts(0.0) == []
+
+
+class TestOverrunHorizons:
+    """Overrunning claims and the grace horizon (DESIGN.md §9.3)."""
+
+    def test_horizon_times_mixes_grace_and_real_ends(self):
+        cal = HostCalendar("h")
+        running = cal.reserve("running", 0.0, 100.0)
+        cal.claim(running, 0.0)
+        cal.reserve("future", 400.0, 500.0)
+        # At t=200 the claim has overrun: its effective end is
+        # now + grace, while the untouched booking keeps its real end.
+        assert cal.horizon_times(200.0, 30.0) == [230.0, 500.0]
+        # Before the estimate elapsed, both ends are the real ones.
+        assert cal.horizon_times(50.0, 30.0) == [100.0, 500.0]
+
+    def test_has_overrun_is_per_host(self):
+        book = ReservationBook(["h1", "h2"])
+        resv = book.calendar("h1").reserve("a", 0.0, 100.0)
+        book.calendar("h1").claim(resv, 0.0)
+        assert book.calendar("h1").has_overrun(150.0)
+        assert not book.calendar("h2").has_overrun(150.0)
+        assert book.has_overrun(150.0)
+        assert not book.has_overrun(50.0)
+
+    def test_release_clears_overrun(self):
+        book = ReservationBook(["h1"])
+        cal = book.calendar("h1")
+        resv = cal.reserve("a", 0.0, 100.0)
+        cal.claim(resv, 0.0)
+        assert book.has_overrun(150.0)
+        cal.release(resv, 150.0)
+        assert not book.has_overrun(150.0)
+
+    def test_free_now_skips_overrunning_host(self):
+        book = ReservationBook(["h1", "h2"])
+        resv = book.calendar("h1").reserve("a", 0.0, 100.0)
+        book.calendar("h1").claim(resv, 0.0)
+        # h1's job is still running at t=150; only h2 is free now.
+        assert book.free_now(1, 60.0, ["h1", "h2"], 150.0) == ["h2"]
+        assert book.free_now(2, 60.0, ["h1", "h2"], 150.0) is None
+
+
+class TestIncrementalInternals:
+    """The §9.6 fast-path bookkeeping the planner relies on."""
+
+    def test_first_live_indexes_past_finished_intervals(self):
+        cal = HostCalendar("h")
+        cal.reserve("a", 0.0, 10.0)
+        cal.reserve("b", 20.0, 30.0)
+        cal.reserve("c", 40.0, 50.0)
+        assert cal.first_live(5.0) == 0
+        assert cal.first_live(15.0) == 1
+        assert cal.first_live(35.0) == 2
+        assert cal.first_live(60.0) == 3
+
+    def test_book_version_bumps_on_every_mutation(self):
+        book = ReservationBook(["h1", "h2"])
+        v0 = book.version()
+        resvs = book.reserve_block("a", ["h1", "h2"], 0.0, 100.0)
+        v1 = book.version()
+        assert v1 == v0 + 2  # one bump per calendar insert
+        book.claim_block(resvs, 0.0)
+        v2 = book.version()
+        assert v2 > v1
+        book.release_block(resvs, 50.0)
+        assert book.version() > v2
+
+    def test_lazily_created_calendar_shares_version_cell(self):
+        book = ReservationBook()
+        cal = book.calendar("new-host")
+        v0 = book.version()
+        cal.reserve("a", 0.0, 10.0)
+        assert book.version() == v0 + 1
+
+    def test_rolled_back_block_still_advances_version(self):
+        # A rollback mutates calendars (insert then release), so the
+        # planner must treat it as a world change — version moves.
+        book = ReservationBook(["h1", "h2"])
+        book.reserve_block("a", ["h2"], 0.0, 100.0)
+        v = book.version()
+        with pytest.raises(ReservationConflict):
+            book.reserve_block("b", ["h1", "h2"], 50.0, 150.0)
+        assert book.version() > v
