@@ -1,0 +1,61 @@
+"""Benchmark: simlint incremental cache, warm vs cold (ISSUE 9).
+
+Lints the full shipped ``src/repro`` tree with ``--jobs 4`` twice
+against the same cache directory.  The cold run populates the cache;
+the warm run must (a) serve every file from cache, (b) be measurably
+faster, and (c) render byte-identical findings — caching is pure
+speed, never a different answer.  A third, cache-less run pins the
+cold/warm pair to the plain engine output.
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+import repro
+from repro.simlint import render_json
+from repro.simlint.engine import lint_tree
+
+PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+JOBS = 4
+#: warm must be at least this many times faster than cold; measured
+#: locally at ~60x, so 2x leaves generous headroom for noisy CI boxes.
+MIN_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def timed_runs(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("simlint-cache"))
+    t0 = perf_counter()  # simlint: ignore[SL001] — benchmark wall time
+    cold = lint_tree([PACKAGE_DIR], jobs=JOBS, cache_dir=cache_dir)
+    t1 = perf_counter()  # simlint: ignore[SL001] — benchmark wall time
+    warm = lint_tree([PACKAGE_DIR], jobs=JOBS, cache_dir=cache_dir)
+    t2 = perf_counter()  # simlint: ignore[SL001] — benchmark wall time
+    return cold, t1 - t0, warm, t2 - t1
+
+
+def test_warm_run_is_fully_cached(timed_runs):
+    cold, _, warm, _ = timed_runs
+    assert cold.cache_misses == cold.files > 0
+    assert warm.cache_hits == warm.files == cold.files
+    assert warm.cache_misses == 0
+
+
+def test_warm_run_is_measurably_faster(timed_runs):
+    _, cold_wall, _, warm_wall = timed_runs
+    speedup = cold_wall / warm_wall
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm cache run only {speedup:.2f}x faster "
+        f"({cold_wall:.3f}s cold vs {warm_wall:.3f}s warm)")
+
+
+def test_warm_output_is_byte_identical(timed_runs):
+    cold, _, warm, _ = timed_runs
+    assert render_json(warm.findings) == render_json(cold.findings)
+
+
+def test_cached_output_matches_plain_engine(timed_runs):
+    cold, _, _, _ = timed_runs
+    plain = lint_tree([PACKAGE_DIR], jobs=1)
+    assert render_json(plain.findings) == render_json(cold.findings)

@@ -158,8 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint "
                            "(default: the installed repro package)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="report format (default: text)")
+    lint.add_argument("--format", choices=["text", "json", "github"],
+                      default="text",
+                      help="report format (default: text); 'github' emits "
+                           "GitHub Actions ::error/::warning annotations")
     lint.add_argument("--baseline", metavar="PATH", default=None,
                       help="JSON baseline of grandfathered findings")
     lint.add_argument("--write-baseline", metavar="PATH", default=None,
@@ -170,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "SL001,SL003); default: all")
     lint.add_argument("--ignore", metavar="RULES", default=None,
                       help="comma-separated rule ids to skip")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="analyze files with N worker processes "
+                           "(default: 1, in-process)")
+    lint.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="incremental analysis cache directory (e.g. "
+                           ".simlint-cache); only changed files are "
+                           "re-analyzed, findings are byte-identical "
+                           "warm vs cold")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule table and exit")
 
@@ -483,13 +493,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
     try:
-        findings = simlint.lint_paths(paths, select=select, ignore=ignore)
+        result = simlint.lint_tree(paths, select=select, ignore=ignore,
+                                   jobs=max(1, args.jobs),
+                                   cache_dir=args.cache_dir)
     except simlint.UnknownRuleError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    findings = result.findings
     if args.write_baseline:
         simlint.write_baseline(args.write_baseline,
                                simlint.make_baseline(findings))
@@ -502,6 +515,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         findings, grandfathered = simlint.apply_baseline(findings, doc)
     if args.format == "json":
         print(simlint.render_json(findings, grandfathered))
+    elif args.format == "github":
+        print(simlint.render_github(findings, len(grandfathered),
+                                    display_paths=result.display_paths))
     else:
         print(simlint.render_text(findings, len(grandfathered)))
     return 1 if findings else 0

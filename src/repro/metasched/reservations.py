@@ -42,7 +42,10 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right, insort
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import
+    from ..sim.stats import KernelStats
 
 __all__ = ["Reservation", "ReservationConflict", "HostCalendar",
            "ReservationBook"]
@@ -319,7 +322,7 @@ class ReservationBook:
             self.calendar(name)
         #: optional :class:`~repro.sim.stats.KernelStats` sink for the
         #: ``meta_plan_window_probes`` counter (set by the service)
-        self.stats = None
+        self.stats: Optional[KernelStats] = None
         #: memo for :meth:`has_overrun` — ((version, now), bool)
         self._overrun_cache: Optional[Tuple[Tuple[int, float], bool]] = None
         #: memo for :meth:`_now_gaps` — (version, now, cands, gaps, ranked)

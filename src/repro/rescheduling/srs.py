@@ -148,9 +148,13 @@ class SRSLibrary:
                            dur=self.sim.now - t0, dataset=dataset,
                            rank=ctx.rank, progress=progress,
                            bytes=my_bytes, host=ctx.host.name)
+        # `pending` cannot go stale across the depot write: the record
+        # is only dropped from _pending by the last rank to land (the
+        # branch below), and that branch cannot have run yet while this
+        # rank's own write is still missing.
         pending.locations[ctx.rank] = CheckpointLocation(
             rank=ctx.rank, depot_host=target.name, key=key,
-            nbytes=my_bytes)
+            nbytes=my_bytes)  # simlint: ignore[SL020] — completion protocol above
         if len(pending.locations) == n_procs:
             self.rss.store_checkpoint(pending)
             del self._pending[pending_key]

@@ -1,0 +1,132 @@
+"""Content-hash incremental cache for the simlint engine.
+
+Two stores under ``<root>/v1/``:
+
+* ``sym/<chash>.json`` — the per-file symbol summary
+  (:class:`~repro.simlint.symbols.ModuleSymbols`), keyed only by the
+  file's content hash: symbols are a local property of the file.
+* ``find/<chash>-<graph16>-<rules16>.json`` — the per-file findings,
+  keyed by the content hash *plus* the project-graph digest and the
+  active rule set: the flow rules read cross-file facts, so a change
+  anywhere that shifts the graph invalidates every cached finding
+  list, while a comment-only edit elsewhere (same digest) does not.
+
+Findings are stored without their ``path`` field and re-anchored on
+load, so a cache survives the tree being linted from a different
+checkout location.  Every write is atomic (tmp + ``os.replace``) and
+every unreadable/corrupt entry is a miss — the cache can be deleted
+at any time with no behaviour change beyond speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import List, Optional
+
+from .findings import Finding
+
+__all__ = ["AnalysisCache", "content_hash", "CACHE_LAYOUT_VERSION"]
+
+CACHE_LAYOUT_VERSION = "v1"
+
+
+def content_hash(source_bytes: bytes, relpath: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(relpath.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(source_bytes)
+    return digest.hexdigest()
+
+
+def _finding_payload(finding: Finding) -> dict:
+    return {
+        "line": finding.line, "col": finding.col, "rule": finding.rule,
+        "severity": finding.severity, "message": finding.message,
+        "hint": finding.hint, "fingerprint": finding.fingerprint,
+    }
+
+
+def _finding_from_payload(payload: dict, relpath: str) -> Finding:
+    return Finding(
+        path=relpath, line=payload["line"], col=payload["col"],
+        rule=payload["rule"], severity=payload["severity"],
+        message=payload["message"], hint=payload["hint"],
+        fingerprint=payload["fingerprint"],
+    )
+
+
+class AnalysisCache:
+    """Filesystem cache rooted at ``root`` (e.g. ``.simlint-cache``)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self._base = os.path.join(self.root, CACHE_LAYOUT_VERSION)
+
+    # -- internals ----------------------------------------------------
+
+    def _read(self, path: str) -> Optional[dict]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write(self, path: str, payload: dict) -> None:
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True,
+                              separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or contended cache directory must never fail
+            # the lint run; it just stops being a cache.
+            pass
+
+    def _findings_path(self, chash: str, graph_digest: str,
+                       rules_key: str) -> str:
+        return os.path.join(
+            self._base, "find",
+            f"{chash}-{graph_digest[:16]}-{rules_key[:16]}.json")
+
+    # -- symbol summaries ---------------------------------------------
+
+    def get_symbols(self, chash: str) -> Optional[dict]:
+        return self._read(os.path.join(self._base, "sym", f"{chash}.json"))
+
+    def put_symbols(self, chash: str, payload: dict) -> None:
+        self._write(os.path.join(self._base, "sym", f"{chash}.json"),
+                    payload)
+
+    # -- per-file findings --------------------------------------------
+
+    def get_findings(self, chash: str, graph_digest: str, rules_key: str,
+                     relpath: str) -> Optional[List[Finding]]:
+        payload = self._read(
+            self._findings_path(chash, graph_digest, rules_key))
+        if payload is None or "findings" not in payload:
+            return None
+        try:
+            return [_finding_from_payload(f, relpath)
+                    for f in payload["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_findings(self, chash: str, graph_digest: str, rules_key: str,
+                     findings: List[Finding]) -> None:
+        payload = {"findings": [_finding_payload(f) for f in findings]}
+        self._write(self._findings_path(chash, graph_digest, rules_key),
+                    payload)

@@ -1,0 +1,210 @@
+"""Statement-level control-flow graphs for one function body.
+
+Each :class:`CfgNode` covers one statement.  Compound statements
+contribute a *header* node whose ``parts`` are only the expressions
+evaluated at the header (an ``if`` test, a ``for`` target/iter, a
+``with`` item list) — never the nested bodies, which get their own
+nodes.  That keeps yield detection and taint transfer local to what
+actually executes at each program point.
+
+Exception flow is approximated the standard conservative way: every
+node created inside a ``try`` body gets an edge to each of that try's
+handler entry nodes, so facts holding anywhere in the body reach the
+handlers.  ``break``/``continue``/``return``/``raise`` cut fallthrough
+edges as expected.
+
+The graph is intentionally small and forward-only — just enough for
+the worklist dataflow in :mod:`repro.simlint.flow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["CfgNode", "build_cfg"]
+
+
+@dataclass
+class CfgNode:
+    """One statement (or compound-statement header) in the CFG."""
+
+    idx: int
+    stmt: ast.AST
+    parts: Tuple[ast.AST, ...]
+    succs: List[int] = field(default_factory=list)
+    has_yield: bool = False
+
+    def link(self, succ: int) -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+
+
+def _own_contains_yield(parts: Sequence[ast.AST]) -> bool:
+    for part in parts:
+        stack = [part]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[CfgNode] = []
+        # (handler_entry_idxs,) stack: active try contexts.
+        self.handler_stack: List[List[int]] = []
+        # (header_idx, break_collector) stack: active loops.
+        self.loop_stack: List[Tuple[int, List[int]]] = []
+
+    def new_node(self, stmt: ast.AST,
+                 parts: Sequence[ast.AST]) -> CfgNode:
+        node = CfgNode(idx=len(self.nodes), stmt=stmt, parts=tuple(parts),
+                       has_yield=_own_contains_yield(parts))
+        self.nodes.append(node)
+        # Anything inside a try body may raise mid-statement.
+        for handlers in self.handler_stack:
+            for entry in handlers:
+                node.link(entry)
+        return node
+
+    def block(self, stmts: Sequence[ast.stmt],
+              preds: List[int]) -> List[int]:
+        """Wire ``stmts`` after ``preds``; return the exit node idxs."""
+        for stmt in stmts:
+            preds = self.statement(stmt, preds)
+        return preds
+
+    def _enter(self, preds: List[int], node: CfgNode) -> None:
+        for pred in preds:
+            self.nodes[pred].link(node.idx)
+
+    def statement(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            header = self.new_node(stmt, [stmt.test])
+            self._enter(preds, header)
+            body_exits = self.block(stmt.body, [header.idx])
+            if stmt.orelse:
+                else_exits = self.block(stmt.orelse, [header.idx])
+                return body_exits + else_exits
+            return body_exits + [header.idx]
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.While):
+                parts: List[ast.AST] = [stmt.test]
+            else:
+                parts = [stmt.target, stmt.iter]
+            header = self.new_node(stmt, parts)
+            self._enter(preds, header)
+            breaks: List[int] = []
+            self.loop_stack.append((header.idx, breaks))
+            body_exits = self.block(stmt.body, [header.idx])
+            self.loop_stack.pop()
+            for exit_idx in body_exits:
+                self.nodes[exit_idx].link(header.idx)
+            else_exits = (self.block(stmt.orelse, [header.idx])
+                          if stmt.orelse else [header.idx])
+            return else_exits + breaks
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            parts = [item.context_expr for item in stmt.items]
+            parts.extend(item.optional_vars for item in stmt.items
+                         if item.optional_vars is not None)
+            header = self.new_node(stmt, parts)
+            self._enter(preds, header)
+            return self.block(stmt.body, [header.idx])
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+
+        if isinstance(stmt, ast.Match):
+            header = self.new_node(stmt, [stmt.subject])
+            self._enter(preds, header)
+            exits: List[int] = [header.idx]
+            for case in stmt.cases:
+                exits.extend(self.block(case.body, [header.idx]))
+            return exits
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self.new_node(stmt, [])
+            self._enter(preds, node)
+            if self.loop_stack:
+                header_idx, breaks = self.loop_stack[-1]
+                if isinstance(stmt, ast.Break):
+                    breaks.append(node.idx)
+                else:
+                    node.link(header_idx)
+            return []
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self.new_node(stmt, [stmt])
+            self._enter(preds, node)
+            return []
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Opaque: the nested body runs later (or in another scope).
+            node = self.new_node(stmt, [])
+            self._enter(preds, node)
+            return [node.idx]
+
+        node = self.new_node(stmt, [stmt])
+        self._enter(preds, node)
+        return [node.idx]
+
+    def _try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        entry = self.new_node(stmt, [])
+        self._enter(preds, entry)
+        # Handler entry markers first, so body nodes can edge to them.
+        handler_entries: List[int] = []
+        handler_nodes: List[Tuple[ast.ExceptHandler, CfgNode]] = []
+        for handler in stmt.handlers:
+            marker = self.new_node(handler, [handler.type]
+                                   if handler.type is not None else [])
+            handler_entries.append(marker.idx)
+            handler_nodes.append((handler, marker))
+        self.handler_stack.append(handler_entries)
+        body_exits = self.block(stmt.body, [entry.idx])
+        self.handler_stack.pop()
+        exits: List[int] = []
+        if stmt.orelse:
+            exits.extend(self.block(stmt.orelse, body_exits))
+        else:
+            exits.extend(body_exits)
+        for handler, marker in handler_nodes:
+            exits.extend(self.block(handler.body, [marker.idx]))
+        if stmt.finalbody:
+            exits = self.block(stmt.finalbody, exits)
+        return exits
+
+
+def build_cfg(func: ast.AST) -> List[CfgNode]:
+    """CFG of ``func``'s body.  Node 0 is the entry (first statement's
+    node has idx 0 only if the body is non-trivial — callers should
+    treat index 0 as the entry regardless)."""
+    builder = _Builder()
+    builder.block(list(getattr(func, "body", [])), [])
+    return builder.nodes
+
+
+def iter_parts(node: CfgNode) -> Iterator[ast.AST]:
+    """All AST nodes executed at this CFG node, nested defs excluded."""
+    for part in node.parts:
+        stack = [part]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                continue
+            yield sub
+            stack.extend(ast.iter_child_nodes(sub))
+
+
+def entry_index(nodes: List[CfgNode]) -> Optional[int]:
+    return 0 if nodes else None

@@ -1,8 +1,16 @@
-"""simlint engine: file discovery, suppressions, and rule execution.
+"""simlint engine: discovery, suppressions, caching, rule execution.
 
-The engine parses each file once, runs every selected rule over the
-tree, and filters the resulting findings through two suppression
-mechanisms:
+The engine runs in two phases.  Phase one builds the project symbol
+graph: every file is summarised (:mod:`repro.simlint.symbols`) so the
+flow rules know which functions are simulated-process generators and
+which shared containers/RNG streams each function touches.  Phase two
+lints each file against the selected rules with that graph as context
+— optionally in parallel (``jobs``) and through a content-hash cache
+(``cache_dir``) keyed on the file hash, the graph digest and the rule
+set, so only edited files (or files whose cross-file facts changed)
+are re-analysed and cached runs are byte-identical to cold ones.
+
+Findings then pass through two suppression mechanisms:
 
 * **line suppressions** — a trailing comment on the flagged line::
 
@@ -10,7 +18,10 @@ mechanisms:
 
   ``ignore`` without a rule list suppresses every rule on that line.
   Text after the bracket (or after ``ignore``) is a free-form
-  justification and is encouraged.
+  justification and is encouraged.  For a *multi-line* statement the
+  comment may sit on any line of the statement (e.g. after the
+  opening parenthesis of a spread-out call) — it covers findings
+  reported on every line the statement spans.
 
 * **file suppressions** — a comment line anywhere in the file (by
   convention near the top)::
@@ -24,17 +35,28 @@ Baselines (grandfathered findings) are a third layer handled by
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import multiprocessing
 import os
 import re
 import tokenize
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .cache import AnalysisCache, content_hash
 from .findings import Finding, fingerprint_of
 from .rules import PARSE_ERROR_ID, RULES, build_context
+from .symbols import (SYMBOLS_VERSION, ModuleSymbols, ProjectGraph,
+                      build_graph, symbols_for_source)
 
-__all__ = ["lint_source", "lint_paths", "discover_files", "select_rules",
-           "UnknownRuleError", "SUPPRESS_RE"]
+__all__ = ["lint_source", "lint_paths", "lint_tree", "discover_files",
+           "select_rules", "UnknownRuleError", "SUPPRESS_RE", "LintResult",
+           "ENGINE_VERSION"]
+
+#: Bump when finding generation changes in any way that should
+#: invalidate cached per-file results.
+ENGINE_VERSION = 2
 
 SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*(?P<kind>ignore-file|ignore)\s*"
@@ -113,13 +135,113 @@ def _suppressions(source: str) -> Tuple[Dict[int, Optional[Set[str]]],
     return per_line, file_level
 
 
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line spans of multi-line statements (and compound headers).
+
+    A simple statement spans ``lineno..end_lineno``; a compound
+    statement contributes only its *header* (up to the line before its
+    first nested statement) — findings inside the body belong to the
+    body statements' own spans.
+    """
+
+    def child_line(node: ast.AST) -> int:
+        lineno = getattr(node, "lineno", None)
+        if lineno is not None:
+            return lineno
+        # match_case carries no lineno of its own.
+        pattern = getattr(node, "pattern", None)
+        if pattern is not None and hasattr(pattern, "lineno"):
+            return pattern.lineno
+        body = getattr(node, "body", None)
+        if body:
+            return body[0].lineno
+        return 1
+
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.ExceptHandler)):
+            continue
+        children = [c for c in ast.iter_child_nodes(node)
+                    if isinstance(c, (ast.stmt, ast.ExceptHandler))
+                    or type(c).__name__ == "match_case"]
+        start = node.lineno
+        if children:
+            end = min(child_line(c) for c in children) - 1
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def _expand_suppressions(
+        per_line: Dict[int, Optional[Set[str]]],
+        tree: ast.Module) -> Dict[int, Optional[Set[str]]]:
+    """Spread each suppression over the whole statement it sits in.
+
+    A ``# simlint: ignore[...]`` on any line of a multi-line statement
+    covers findings reported on every line of that statement — the
+    AST reports a nested expression (a call argument, a comprehension)
+    at *its* line, not at the line a human put the comment on.
+    """
+    if not per_line:
+        return per_line
+    expanded: Dict[int, Optional[Set[str]]] = dict(per_line)
+    for start, end in _statement_spans(tree):
+        merged: Set[str] = set()
+        found = False
+        suppress_all = False
+        for line in range(start, end + 1):
+            if line in per_line:
+                found = True
+                value = per_line[line]
+                if value is None:
+                    suppress_all = True
+                else:
+                    merged |= value
+        if not found:
+            continue
+        for line in range(start, end + 1):
+            existing = expanded.get(line, set())
+            if suppress_all or existing is None:
+                expanded[line] = None
+            else:
+                expanded[line] = existing | merged
+    return expanded
+
+
 def lint_source(source: str, relpath: str,
-                rule_ids: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint one file's text; ``relpath`` appears in the findings."""
+                rule_ids: Optional[Sequence[str]] = None,
+                project: Optional[ProjectGraph] = None) -> List[Finding]:
+    """Lint one file's text; ``relpath`` appears in the findings.
+
+    ``project`` supplies the cross-file symbol graph for the flow
+    rules; when omitted they fall back to a graph built from this file
+    alone.
+    """
     if rule_ids is None:
         rule_ids = tuple(sorted(RULES))
     per_line, file_level = _suppressions(source)
     lines = source.splitlines()
+
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        rule = RULES[PARSE_ERROR_ID]
+        line = exc.lineno or 1
+        if file_level is not None and PARSE_ERROR_ID in file_level:
+            return []
+        line_rules = per_line.get(line, set())
+        if (PARSE_ERROR_ID not in rule_ids or line_rules is None
+                or PARSE_ERROR_ID in line_rules):
+            return []
+        return [Finding(
+            path=relpath, line=line, col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_ID, severity=rule.severity,
+            message=f"syntax error: {exc.msg}", hint=rule.hint,
+            fingerprint=fingerprint_of(PARSE_ERROR_ID, exc.msg or "", 0))]
+
+    per_line = _expand_suppressions(per_line, tree)
 
     def suppressed(rule_id: str, line: int) -> bool:
         if file_level is not None and rule_id in file_level:
@@ -129,20 +251,7 @@ def lint_source(source: str, relpath: str,
             return line_rules is None or rule_id in line_rules
         return False
 
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        rule = RULES[PARSE_ERROR_ID]
-        line = exc.lineno or 1
-        if PARSE_ERROR_ID not in rule_ids or suppressed(PARSE_ERROR_ID, line):
-            return []
-        return [Finding(
-            path=relpath, line=line, col=(exc.offset or 1) - 1,
-            rule=PARSE_ERROR_ID, severity=rule.severity,
-            message=f"syntax error: {exc.msg}", hint=rule.hint,
-            fingerprint=fingerprint_of(PARSE_ERROR_ID, exc.msg or "", 0))]
-
-    ctx = build_context(relpath, tree)
+    ctx = build_context(relpath, tree, project)
     raw: List[Tuple[int, int, str, str]] = []
     for rule_id in rule_ids:
         rule = RULES[rule_id]
@@ -196,15 +305,128 @@ def discover_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
     return pairs
 
 
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping from one :func:`lint_tree` run."""
+
+    findings: List[Finding]
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: relpath (as used in findings) -> path relative to the CWD, for
+    #: renderers that must point at real files (GitHub annotations).
+    display_paths: Dict[str, str] = field(default_factory=dict)
+
+
+def _rules_key(rule_ids: Sequence[str]) -> str:
+    blob = f"{ENGINE_VERSION}:{SYMBOLS_VERSION}:" + ",".join(rule_ids)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# Worker-process state for --jobs N: the graph and rule set are shipped
+# once per worker via the pool initializer, not once per file.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(graph: ProjectGraph, rule_ids: Tuple[str, ...]) -> None:
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["rule_ids"] = rule_ids
+
+
+def _worker_lint(item: Tuple[str, str]) -> List[Finding]:
+    full, rel = item
+    with open(full, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, rel, _WORKER_STATE["rule_ids"],
+                       project=_WORKER_STATE["graph"])
+
+
+def lint_tree(paths: Sequence[str],
+              select: Optional[Iterable[str]] = None,
+              ignore: Optional[Iterable[str]] = None,
+              jobs: int = 1,
+              cache_dir: Optional[str] = None) -> LintResult:
+    """Two-phase project lint with optional caching and parallelism."""
+    rule_ids = select_rules(select, ignore)
+    pairs = discover_files(paths)
+    cwd = os.getcwd()
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+
+    sources: Dict[str, str] = {}
+    hashes: Dict[str, str] = {}
+    for full, rel in pairs:
+        with open(full, "rb") as handle:
+            data = handle.read()
+        sources[rel] = data.decode("utf-8")
+        hashes[rel] = content_hash(data, rel)
+
+    # Phase 1: symbol summaries (cached per content hash) -> graph.
+    modules: Dict[str, ModuleSymbols] = {}
+    for _, rel in pairs:
+        payload = cache.get_symbols(hashes[rel]) if cache else None
+        if (payload is not None
+                and payload.get("version") == SYMBOLS_VERSION):
+            modules[rel] = ModuleSymbols.from_payload(payload["module"])
+        else:
+            mod = symbols_for_source(sources[rel], rel)
+            modules[rel] = mod
+            if cache:
+                cache.put_symbols(hashes[rel], {
+                    "version": SYMBOLS_VERSION,
+                    "module": mod.to_payload()})
+    graph = build_graph(modules)
+    rules_key = _rules_key(rule_ids)
+
+    # Phase 2: per-file findings, from cache where valid.
+    cached_results: Dict[str, List[Finding]] = {}
+    to_analyze: List[Tuple[str, str]] = []
+    for full, rel in pairs:
+        got = (cache.get_findings(hashes[rel], graph.digest, rules_key, rel)
+               if cache else None)
+        if got is not None:
+            cached_results[rel] = got
+        else:
+            to_analyze.append((full, rel))
+
+    analyzed: Dict[str, List[Finding]] = {}
+    if to_analyze:
+        if jobs > 1 and len(to_analyze) > 1:
+            with multiprocessing.Pool(
+                    processes=min(jobs, len(to_analyze)),
+                    initializer=_init_worker,
+                    initargs=(graph, rule_ids)) as pool:
+                results = pool.map(_worker_lint, to_analyze)
+            for (_, rel), result in zip(to_analyze, results):
+                analyzed[rel] = result
+        else:
+            for _, rel in to_analyze:
+                analyzed[rel] = lint_source(sources[rel], rel, rule_ids,
+                                            project=graph)
+        if cache:
+            for _, rel in to_analyze:
+                cache.put_findings(hashes[rel], graph.digest, rules_key,
+                                   analyzed[rel])
+
+    findings: List[Finding] = []
+    for _, rel in pairs:
+        if rel in cached_results:
+            findings.extend(cached_results[rel])
+        else:
+            findings.extend(analyzed.get(rel, []))
+    findings.sort()
+    display = {rel: os.path.relpath(full, cwd).replace(os.sep, "/")
+               for full, rel in pairs}
+    return LintResult(findings=findings, files=len(pairs),
+                      cache_hits=len(cached_results),
+                      cache_misses=len(to_analyze),
+                      display_paths=display)
+
+
 def lint_paths(paths: Sequence[str],
                select: Optional[Iterable[str]] = None,
-               ignore: Optional[Iterable[str]] = None) -> List[Finding]:
+               ignore: Optional[Iterable[str]] = None,
+               jobs: int = 1,
+               cache_dir: Optional[str] = None) -> List[Finding]:
     """Lint files and directories; returns sorted findings."""
-    rule_ids = select_rules(select, ignore)
-    findings: List[Finding] = []
-    for full, rel in discover_files(paths):
-        with open(full, encoding="utf-8") as handle:
-            source = handle.read()
-        findings.extend(lint_source(source, rel, rule_ids))
-    findings.sort()
-    return findings
+    return lint_tree(paths, select=select, ignore=ignore, jobs=jobs,
+                     cache_dir=cache_dir).findings

@@ -1,0 +1,430 @@
+"""Yield-point dataflow: the SL020–SL023 flow rule implementations.
+
+Only functions the :class:`~repro.simlint.symbols.ProjectGraph` marks
+as simulated-process generators are analysed — a yield in a plain data
+iterator is not a scheduling point, so the cross-yield hazards these
+rules describe do not apply there.
+
+The core pass (SL020/SL023) is a forward worklist dataflow over the
+per-function CFG (:mod:`repro.simlint.cfg`).  The abstract state maps
+local variable names to sets of ``(kind, name, crossed)`` taints: the
+variable holds a value read from shared state (``self.<name>`` or a
+mutable module global), and ``crossed`` records whether a yield has
+been executed since the read.  A yield flips every taint to crossed;
+re-reading the shared origin clears the flag (the function is
+presumed to have refreshed its view — the "without a re-read"
+exoneration); assigning anything non-shared to the variable kills the
+taint.  Checks fire on writes/mutations/returns that consume a
+crossed taint.
+
+SL021 and SL022 are syntactic over the same symbol graph: SL021 finds
+``for`` loops that iterate a shared container with a yield in the
+body while *another* function mutates that container in place, and
+SL022 finds named RNG streams drawn from more than one process
+generator (event interleaving then reorders the draws).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .cfg import CfgNode, build_cfg, iter_parts
+from .symbols import (MUTATOR_METHODS, RNG_DRAW_METHODS, ProjectGraph,
+                      iter_functions, own_walk, single_file_graph)
+
+__all__ = ["flow_findings", "CACHE_NAME_RE"]
+
+#: Attribute names that look like memo/cache slots (SL023).
+CACHE_NAME_RE = re.compile(r"(^|_)(cache[sd]?|cached|memo|memos)(_|$)")
+
+#: Safety valve for the fixpoint loop; the lattice is finite so this
+#: should never trigger, but a linter must not hang on weird input.
+_MAX_VISITS_PER_NODE = 50
+
+Origin = Tuple[str, str]              # ("self", attr) | ("global", name)
+Taint = Tuple[str, str, bool]         # origin + crossed-a-yield flag
+Facts = Dict[str, FrozenSet[Taint]]
+
+Hit = Tuple[str, ast.AST, str]        # rule id, node, message
+
+
+def _describe(kind: str, name: str) -> str:
+    return f"self.{name}" if kind == "self" else name
+
+
+def _origin_of(expr: ast.AST, shared_globals: Set[str]) -> Optional[Origin]:
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return ("self", expr.attr)
+    if isinstance(expr, ast.Name) and expr.id in shared_globals:
+        return ("global", expr.id)
+    return None
+
+
+def _taint_source(value: ast.AST,
+                  shared_globals: Set[str]) -> Optional[Origin]:
+    """Shared origin a plain alias/lookup assignment reads from.
+
+    Recognises ``v = self.A``, ``v = self.A[k]`` and
+    ``v = self.A.get(k)`` (and the module-global equivalents).
+    Derived expressions (arithmetic, comprehensions, other calls) are
+    deliberately *not* tainted — quiet beats noisy for a new rule.
+    """
+    direct = _origin_of(value, shared_globals)
+    if direct is not None:
+        return direct
+    if isinstance(value, ast.Subscript):
+        return _origin_of(value.value, shared_globals)
+    if (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"):
+        return _origin_of(value.func.value, shared_globals)
+    return None
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            names.add(arg.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in own_walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    return names - declared_global
+
+
+def _store_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _store_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _store_names(target.value)
+
+
+def _join(into: Facts, other: Facts) -> Tuple[Facts, bool]:
+    changed = False
+    merged = dict(into)
+    for var, taints in other.items():
+        combined = merged.get(var, frozenset()) | taints
+        if combined != merged.get(var):
+            merged[var] = combined
+            changed = True
+    return merged, changed
+
+
+def _transfer(node: CfgNode, facts: Facts,
+              shared_globals: Set[str]) -> Facts:
+    facts = dict(facts)
+
+    # Re-read exoneration: loading a shared origin anywhere in this
+    # statement clears the crossed flag for taints of that origin.
+    reread: Set[Origin] = set()
+    for sub in iter_parts(node):
+        if isinstance(sub, (ast.Attribute, ast.Name)) and isinstance(
+                getattr(sub, "ctx", None), ast.Load):
+            origin = _origin_of(sub, shared_globals)
+            if origin is not None:
+                reread.add(origin)
+    if reread:
+        for var, taints in list(facts.items()):
+            facts[var] = frozenset(
+                (k, n, False) if (k, n) in reread else (k, n, crossed)
+                for k, n, crossed in taints)
+
+    # A yield at this node: every surviving taint has now crossed.
+    if node.has_yield:
+        for var, taints in list(facts.items()):
+            facts[var] = frozenset((k, n, True) for k, n, _ in taints)
+
+    # Kills and gens.
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign):
+        origin = _taint_source(stmt.value, shared_globals)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                if origin is not None:
+                    facts[target.id] = frozenset({(*origin, False)})
+                else:
+                    facts.pop(target.id, None)
+            else:
+                for name in _store_names(target):
+                    facts.pop(name, None)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            origin = _taint_source(stmt.value, shared_globals)
+            if origin is not None:
+                facts[stmt.target.id] = frozenset({(*origin, False)})
+            else:
+                facts.pop(stmt.target.id, None)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # Loop variables are rebound each iteration; not tracked.
+        for name in _store_names(stmt.target):
+            facts.pop(name, None)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _store_names(item.optional_vars):
+                    facts.pop(name, None)
+    return facts
+
+
+def _crossed_vars(facts: Facts, names: Iterator[str]
+                  ) -> List[Tuple[str, Origin]]:
+    hits: List[Tuple[str, Origin]] = []
+    for name in sorted(set(names)):
+        for kind, origin_name, crossed in sorted(facts.get(name, ())):
+            if crossed:
+                hits.append((name, (kind, origin_name)))
+                break
+    return hits
+
+
+def _loaded_names(expr: ast.AST) -> Iterator[str]:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            yield node.id
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_node(node: CfgNode, facts: Facts,
+                shared_globals: Set[str]) -> Iterator[Hit]:
+    stmt = node.stmt
+
+    # SL020(a): shared state written back from a value captured before
+    # a yield — the classic lost-update race under cooperative
+    # scheduling.
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        shared_target = None
+        for target in targets:
+            base = target.value if isinstance(
+                target, ast.Subscript) else target
+            origin = _origin_of(base, shared_globals)
+            if origin is None and isinstance(target, ast.Attribute):
+                origin = _origin_of(target, shared_globals)
+            if origin is not None:
+                shared_target = origin
+                break
+        if shared_target is not None:
+            for var, origin in _crossed_vars(
+                    facts, _loaded_names(stmt.value)):
+                yield ("SL020", stmt,
+                       f"'{var}' was read from {_describe(*origin)} before "
+                       f"a yield and is written back to "
+                       f"{_describe(*shared_target)} after it")
+                break
+
+    # SL020(b): in-place mutation through an alias captured before a
+    # yield — the object may have been replaced/retired meanwhile.
+    mutation_roots: List[str] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = _root_name(target)
+                if root is not None and root != "self":
+                    mutation_roots.append(root)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = _root_name(target)
+                if root is not None and root != "self":
+                    mutation_roots.append(root)
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr in MUTATOR_METHODS):
+            root = _root_name(call.func.value)
+            if root is not None and root != "self":
+                mutation_roots.append(root)
+    for var, origin in _crossed_vars(facts, iter(mutation_roots)):
+        yield ("SL020", stmt,
+               f"'{var}' aliases {_describe(*origin)} captured before a "
+               f"yield; this mutation may act on stale state")
+        break
+
+    # SL023: cache contents captured before a yield returned after it.
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        for var, origin in _crossed_vars(
+                facts, _loaded_names(stmt.value)):
+            if CACHE_NAME_RE.search(origin[1]):
+                yield ("SL023", stmt,
+                       f"cached value '{var}' from {_describe(*origin)} is "
+                       f"returned after a yield without re-validation")
+                break
+
+
+def _dataflow(func: ast.AST, shared_globals: Set[str]) -> Iterator[Hit]:
+    nodes = build_cfg(func)
+    if not nodes:
+        return
+    entry: List[Facts] = [{} for _ in nodes]
+    visits = [0] * len(nodes)
+    work = [0]
+    while work:
+        idx = work.pop()
+        if visits[idx] >= _MAX_VISITS_PER_NODE:
+            continue
+        visits[idx] += 1
+        out = _transfer(nodes[idx], entry[idx], shared_globals)
+        for succ in nodes[idx].succs:
+            merged, changed = _join(entry[succ], out)
+            if changed or visits[succ] == 0:
+                entry[succ] = merged
+                work.append(succ)
+    # Some nodes are only reachable as successors; make sure every
+    # node gets checked against its final entry facts exactly once.
+    for node in nodes:
+        yield from _check_node(node, entry[node.idx], shared_globals)
+
+
+def _has_own_yield(stmts: List[ast.stmt]) -> bool:
+    stack: List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _short(qualname: str) -> str:
+    relpath, _, dotted = qualname.partition("::")
+    return f"{dotted} ({relpath})"
+
+
+def _check_shared_iteration(func: ast.AST, cls: Optional[str],
+                            graph: ProjectGraph, relpath: str,
+                            qual: str,
+                            shared_globals: Set[str]) -> Iterator[Hit]:
+    for node in own_walk(func):
+        if not isinstance(node, ast.For):
+            continue
+        iter_expr = node.iter
+        if (isinstance(iter_expr, ast.Call)
+                and isinstance(iter_expr.func, ast.Attribute)
+                and iter_expr.func.attr in ("items", "values", "keys")
+                and not iter_expr.args):
+            iter_expr = iter_expr.func.value
+        origin = _origin_of(iter_expr, shared_globals)
+        if origin is None or not _has_own_yield(node.body):
+            continue
+        kind, name = origin
+        if kind == "self":
+            if cls is None:
+                continue
+            mutators = graph.self_mutators.get((cls, name), ())
+        else:
+            mutators = graph.global_mutators.get((relpath, name), ())
+        others = [(q, ln) for q, ln in mutators if q != qual]
+        if not others:
+            continue
+        other_q, other_ln = others[0]
+        more = f" (+{len(others) - 1} more)" if len(others) > 1 else ""
+        yield ("SL021", node,
+               f"{_describe(kind, name)} is iterated across a yield while "
+               f"{_short(other_q)} line {other_ln} mutates it{more}")
+
+
+def _check_shared_rng(func: ast.AST, cls: Optional[str],
+                      graph: ProjectGraph, relpath: str,
+                      qual: str) -> Iterator[Hit]:
+    for node in own_walk(func):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in RNG_DRAW_METHODS):
+            continue
+        base = node.func.value
+        key: Optional[Tuple[str, str, str]] = None
+        desc = ""
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and cls is not None):
+            key = ("cls", cls, base.attr)
+            desc = f"self.{base.attr}"
+        elif isinstance(base, ast.Name):
+            key = ("global", relpath, base.id)
+            desc = base.id
+        if key is None:
+            continue
+        drawers = graph.rng_drawers.get(key, ())
+        if len(drawers) < 2:
+            continue
+        others = ", ".join(_short(q) for q in drawers if q != qual)
+        yield ("SL022", node,
+               f"RNG stream {desc} is drawn from {len(drawers)} process "
+               f"generators (also: {others}); event interleaving reorders "
+               f"the draws")
+
+
+def _graph_for(tree: ast.Module, ctx) -> ProjectGraph:
+    if getattr(ctx, "project", None) is not None:
+        return ctx.project
+    scratch = ctx.scratch
+    if "single_file_graph" not in scratch:
+        scratch["single_file_graph"] = single_file_graph(tree, ctx.relpath)
+    return scratch["single_file_graph"]
+
+
+def _analyze(tree: ast.Module, ctx) -> Dict[str, List[Tuple[ast.AST, str]]]:
+    scratch = ctx.scratch
+    if "flow_findings" in scratch:
+        return scratch["flow_findings"]
+    graph = _graph_for(tree, ctx)
+    module = graph.modules.get(ctx.relpath)
+    mutable_globals = set(module.mutable_globals) if module else set()
+    results: Dict[str, List[Tuple[ast.AST, str]]] = {
+        "SL020": [], "SL021": [], "SL022": [], "SL023": []}
+    for dotted, cls, func in iter_functions(tree):
+        qual = graph.qualname(ctx.relpath, dotted)
+        if qual not in graph.process_generators:
+            continue
+        shared_globals = mutable_globals - _local_names(func)
+        for rule_id, node, message in _dataflow(func, shared_globals):
+            results[rule_id].append((node, message))
+        for rule_id, node, message in _check_shared_iteration(
+                func, cls, graph, ctx.relpath, qual, shared_globals):
+            results[rule_id].append((node, message))
+        for rule_id, node, message in _check_shared_rng(
+                func, cls, graph, ctx.relpath, qual):
+            results[rule_id].append((node, message))
+    scratch["flow_findings"] = results
+    return results
+
+
+def flow_findings(rule_id: str, tree: ast.Module,
+                  ctx) -> Iterator[Tuple[ast.AST, str]]:
+    """Entry point used by the SL020–SL023 rule registrations."""
+    yield from _analyze(tree, ctx)[rule_id]

@@ -8,7 +8,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from .findings import ERROR, Finding
 from .rules import RULES
 
-__all__ = ["render_text", "render_json", "render_rule_table"]
+__all__ = ["render_text", "render_json", "render_github",
+           "render_rule_table"]
 
 
 def render_text(findings: Sequence[Finding],
@@ -51,6 +52,45 @@ def render_json(findings: Sequence[Finding],
         "grandfathered": [as_dict(f) for f in (grandfathered or [])],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _gh_escape_message(text: str) -> str:
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def _gh_escape_property(text: str) -> str:
+    return (_gh_escape_message(text).replace(":", "%3A")
+            .replace(",", "%2C"))
+
+
+def render_github(findings: Sequence[Finding],
+                  grandfathered: int = 0,
+                  display_paths: Optional[Dict[str, str]] = None) -> str:
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    ``display_paths`` remaps a finding's lint-root-relative path to a
+    repository-relative path so the annotation anchors to the real
+    file in the PR diff; unmapped paths pass through unchanged.
+    """
+    lines: List[str] = []
+    for finding in findings:
+        path = (display_paths or {}).get(finding.path, finding.path)
+        level = "error" if finding.severity == ERROR else "warning"
+        message = f"{finding.message} — hint: {finding.hint}"
+        lines.append(
+            f"::{level} file={_gh_escape_property(path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_gh_escape_property(f'simlint {finding.rule}')}"
+            f"::{_gh_escape_message(message)}")
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = len(findings) - errors
+    summary = (f"simlint: {len(findings)} finding(s) "
+               f"({errors} error(s), {warnings} warning(s))")
+    if grandfathered:
+        summary += f", {grandfathered} grandfathered by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
 
 
 def render_rule_table(rule_ids: Optional[Iterable[str]] = None) -> str:

@@ -1,0 +1,29 @@
+"""Fixture: SL020 — stale read-modify-write on shared state across a yield."""
+
+
+class Tally:
+    def __init__(self, sim):
+        self.sim = sim
+        self.total = 0.0
+        self.slots = {}
+        sim.process(self.accumulate(), name="tally")
+        sim.process(self.relabel(), name="relabel")
+        sim.process(self.refresh(), name="refresh")
+
+    def accumulate(self):
+        snapshot = self.total
+        yield self.sim.timeout(5.0)
+        self.total = snapshot + 1.0  # EXPECT[SL020]
+
+    def relabel(self):
+        slots = self.slots
+        yield self.sim.timeout(1.0)
+        slots["owner"] = "late"  # EXPECT[SL020]
+
+    def refresh(self):
+        # Negative control: the guard re-reads self.slots after the
+        # yield, so the write-back is not flagged.
+        count = self.slots.get("n", 0)
+        yield self.sim.timeout(1.0)
+        if "n" in self.slots:
+            self.slots["n"] = count

@@ -1,0 +1,25 @@
+"""Fixture: SL021 — shared container iterated across a yield while mutated."""
+
+
+class Registry:
+    def __init__(self, sim):
+        self.sim = sim
+        self.jobs = {}
+        sim.process(self.scan(), name="scan")
+        sim.process(self.reap(), name="reap")
+
+    def scan(self):
+        for name, job in self.jobs.items():  # EXPECT[SL021]
+            yield self.sim.timeout(1.0)
+            job.poke(name)
+
+    def reap(self):
+        while True:
+            yield self.sim.timeout(9.0)
+            # Negative control: iterating a sorted() snapshot is fine
+            # even though this loop also yields.
+            for name in sorted(self.jobs):
+                done = self.jobs[name].done
+                yield self.sim.timeout(0.1)
+                if done:
+                    self.jobs.pop(name, None)

@@ -1,0 +1,27 @@
+"""Fixture: SL022 — one RNG stream drawn from several process generators."""
+
+from numpy.random import default_rng
+
+
+class Churn:
+    def __init__(self, sim):
+        self.sim = sim
+        self.rng = default_rng(7)
+        self.jitter = default_rng(11)
+        sim.process(self.arrivals(), name="arrivals")
+        sim.process(self.departures(), name="departures")
+        sim.process(self.heartbeat(), name="heartbeat")
+
+    def arrivals(self):
+        while True:
+            yield self.sim.timeout(self.rng.exponential(10.0))  # EXPECT[SL022]
+
+    def departures(self):
+        while True:
+            yield self.sim.timeout(self.rng.exponential(50.0))  # EXPECT[SL022]
+
+    def heartbeat(self):
+        # Negative control: self.jitter has exactly one drawing
+        # process generator, so its draws are interleaving-proof.
+        while True:
+            yield self.sim.timeout(self.jitter.exponential(5.0))

@@ -1,0 +1,22 @@
+"""Fixture: SL023 — cached value returned after a yield without a re-check."""
+
+
+class PlanBoard:
+    def __init__(self, sim):
+        self.sim = sim
+        self._order_cache = None
+        self._plain = None
+        sim.process(self.serve(), name="serve")
+        sim.process(self.relay(), name="relay")
+
+    def serve(self):
+        order = self._order_cache
+        yield self.sim.timeout(2.0)
+        return order  # EXPECT[SL023]
+
+    def relay(self):
+        # Negative control: self._plain is not a cache/memo slot, so
+        # returning it stale is SL020's business only if written back.
+        value = self._plain
+        yield self.sim.timeout(2.0)
+        return value

@@ -62,7 +62,7 @@ class TestFixtureTree:
         fired = {f["rule"] for f in payload["findings"]}
         assert fired == {"SL000", "SL001", "SL002", "SL003", "SL004",
                          "SL005", "SL006", "SL007", "SL008", "SL009",
-                         "SL010"}
+                         "SL010", "SL020", "SL021", "SL022", "SL023"}
         assert payload["count"] == len(payload["findings"])
 
     def test_text_report_shape(self, capsys):

@@ -113,3 +113,81 @@ def test_suppressing_parse_errors_is_possible_per_file():
         def broken(:
     """)
     assert findings == []
+
+
+# --- multi-line statements -------------------------------------------------
+#
+# A finding inside a spread-out call is reported at the *inner* node's
+# line; the suppression comment may sit on any line of the statement.
+
+MULTILINE_VIOLATION = """\
+    def order(hosts):
+        names = {h.name for h in hosts}
+        return pick(
+            list(names),
+            fallback=None)
+"""
+
+
+def test_multiline_statement_unsuppressed():
+    findings = lint(MULTILINE_VIOLATION)
+    assert [(f.rule, f.line) for f in findings] == [("SL003", 4)]
+
+
+def test_suppression_on_first_line_of_multiline_statement():
+    findings = lint("""\
+        def order(hosts):
+            names = {h.name for h in hosts}
+            return pick(  # simlint: ignore[SL003] — copy is order-stable
+                list(names),
+                fallback=None)
+    """)
+    assert findings == []
+
+
+def test_suppression_on_last_line_of_multiline_statement():
+    findings = lint("""\
+        def order(hosts):
+            names = {h.name for h in hosts}
+            return pick(
+                list(names),
+                fallback=None)  # simlint: ignore[SL003]
+    """)
+    assert findings == []
+
+
+def test_multiline_suppression_does_not_leak_to_neighbours():
+    findings = lint("""\
+        def order(hosts):
+            names = {h.name for h in hosts}
+            first = pick(  # simlint: ignore[SL003]
+                list(names),
+                fallback=None)
+            second = pick(
+                list(names),
+                fallback=None)
+            return first, second
+    """)
+    assert [(f.rule, f.line) for f in findings] == [("SL003", 7)]
+
+
+def test_multiline_suppression_respects_rule_list():
+    findings = lint("""\
+        def order(hosts):
+            names = {h.name for h in hosts}
+            return pick(  # simlint: ignore[SL001]
+                list(names),
+                fallback=None)
+    """)
+    assert [(f.rule, f.line) for f in findings] == [("SL003", 4)]
+
+
+def test_compound_header_suppression_covers_header_only():
+    findings = lint("""\
+        def scan(hosts):
+            names = {h.name for h in hosts}
+            for name in list(  # simlint: ignore[SL003]
+                    names):
+                use(list(names))
+    """)
+    assert [(f.rule, f.line) for f in findings] == [("SL003", 5)]
