@@ -13,6 +13,8 @@
     python -m repro metasched run --users 6 --arrival-rate 0.01 --json
     python -m repro metasched run --engine reference --n-hosts 64 --json
     python -m repro metasched report stream.json
+    python -m repro soak run --minutes 2 --seed 7 --json
+    python -m repro soak replay tests/soak/reproducers/foo.json
     python -m repro trace diff a.trace.json b.trace.json
     python -m repro lint --format json --baseline simlint-baseline.json
 
@@ -53,6 +55,7 @@ from .experiments.scheduler_bench import (
     run_scheduler_bench,
     schedules_equal,
 )
+from .experiments.soak import run_soak, soak_tables
 from .experiments.substrate import run_substrate_bench
 from .experiments.common import JSON_SCHEMA_VERSION, format_table
 from .faults.campaign import CampaignSpec
@@ -262,6 +265,46 @@ def build_parser() -> argparse.ArgumentParser:
                        "(exit 1 on any reservation conflict)")
     mreport.add_argument("path", help="report JSON from "
                                       "`metasched run --out`")
+
+    soak = sub.add_parser(
+        "soak", help="differential soak harness: randomized composite "
+                     "scenarios + cross-subsystem invariant auditors")
+    soak_sub = soak.add_subparsers(dest="soak_command", required=True)
+
+    srun = soak_sub.add_parser(
+        "run", help="run a seeded scenario sweep; same seed => "
+                    "byte-identical JSON (exit 1 on any invariant "
+                    "violation)")
+    srun.add_argument("--scenarios", type=int, default=None,
+                      help="number of scenarios to run (default 50)")
+    srun.add_argument("--minutes", type=float, default=None,
+                      help="time budget; converted to a deterministic "
+                           "scenario count, never wall-clock measured")
+    srun.add_argument("--shrink", metavar="DIR", default=None,
+                      help="delta-debug each violating scenario into a "
+                           "minimal replayable reproducer under DIR")
+    srun.add_argument("--json", action="store_true",
+                      help="emit the deterministic report JSON on stdout")
+    srun.add_argument("--out", metavar="PATH", default=None,
+                      help="also write the report JSON to PATH")
+    _add_seed_option(srun)
+
+    sreplay = soak_sub.add_parser(
+        "replay", help="re-run one scenario spec JSON (a shrunk "
+                       "reproducer or a sampled spec) with full checks "
+                       "(exit 1 on any invariant violation)")
+    sreplay.add_argument("path", help="scenario spec JSON, e.g. from "
+                                      "`soak run --shrink`")
+    sreplay.add_argument("--shrink", metavar="PATH", default=None,
+                         help="if the replay violates, shrink it further "
+                              "and write the minimal spec to PATH")
+    sreplay.add_argument("--json", action="store_true",
+                         help="emit the scenario report JSON on stdout")
+
+    sreport = soak_sub.add_parser(
+        "report", help="render a saved soak report as tables "
+                       "(exit 1 if it recorded any violation)")
+    sreport.add_argument("path", help="report JSON from `soak run --out`")
 
     trace = sub.add_parser("trace", help="inspect exported trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -603,6 +646,58 @@ def _cmd_metasched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    if args.soak_command == "report":
+        with open(args.path) as handle:
+            report = json.load(handle)
+        print(soak_tables(report))
+        return 1 if report["summary"]["violations"] else 0
+    if args.soak_command == "replay":
+        from .soak import (ScenarioSpec, run_with_checks, shrink_scenario,
+                           write_reproducer)
+        try:
+            with open(args.path) as handle:
+                spec = ScenarioSpec.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"repro soak: bad scenario spec: {exc}", file=sys.stderr)
+            return 2
+        result = run_with_checks(spec)
+        if args.json:
+            print(json.dumps(result, sort_keys=True))
+        else:
+            status = "quiesced" if result["quiesced"] else "DID NOT QUIESCE"
+            print(f"scenario {spec.index} (seed {spec.seed}): {status}, "
+                  f"{len(result['violations'])} violation(s)")
+            for violation in result["violations"]:
+                print(f"  [{violation['invariant']}] t={violation['time']}: "
+                      f"{violation['detail']}")
+        if result["violations"] and args.shrink:
+            shrunk = shrink_scenario(spec)
+            write_reproducer(shrunk.minimal, args.shrink)
+            print(f"minimal reproducer ({shrunk.runs} shrink runs, "
+                  f"targets {sorted(shrunk.targets)}) -> {args.shrink}",
+                  file=sys.stderr)
+        return 1 if result["violations"] else 0
+    if args.scenarios is not None and args.scenarios < 1:
+        print("repro soak: --scenarios must be >= 1", file=sys.stderr)
+        return 2
+    if args.minutes is not None and args.minutes <= 0:
+        print("repro soak: --minutes must be positive", file=sys.stderr)
+        return 2
+    result = run_soak(seed=args.seed, scenarios=args.scenarios,
+                      minutes=args.minutes, shrink_dir=args.shrink)
+    payload = result.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"report -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(soak_tables(result.report()))
+    return 1 if result.report()["summary"]["violations"] else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "diff":
         divergence = diff_files(args.a, args.b)
@@ -637,6 +732,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "faults": _cmd_faults,
     "metasched": _cmd_metasched,
+    "soak": _cmd_soak,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
 }

@@ -33,6 +33,9 @@ class ScheduledLoad:
     nprocs: int = 1
     until: Optional[float] = None  # remove again at this time, if set
     _handles: list = field(default_factory=list, repr=False)
+    #: host failure count at injection time; a later crash drops our
+    #: tasks, making the recorded handles stale
+    _epoch: int = field(default=-1, repr=False)
 
     def install(self, sim: Simulator) -> None:
         """Arm the injection (and removal, if ``until`` is set)."""
@@ -43,12 +46,18 @@ class ScheduledLoad:
             sim.call_at(self.until, self._remove)
 
     def _inject(self) -> None:
+        if not self.host.alive:
+            return  # a crashed host has no competing processes
         self._handles = self.host.add_background_load(self.nprocs)
+        self._epoch = self.host.failures
 
     def _remove(self) -> None:
-        if self._handles:
-            self.host.remove_background_load(self._handles)
-            self._handles = []
+        handles, self._handles = self._handles, []
+        if not handles:
+            return
+        if self.host.failures != self._epoch:
+            return  # the crash already dropped these tasks
+        self.host.remove_background_load(handles)
 
 
 class TraceLoad:
@@ -67,12 +76,20 @@ class TraceLoad:
         self.host = host
         self.trace = list(trace)
         self._handles: list = []
+        self._epoch = host.failures
 
     def install(self, sim: Simulator) -> None:
         for at, nprocs in self.trace:
             sim.call_at(at, lambda n=nprocs: self._set_level(n))
 
     def _set_level(self, nprocs: int) -> None:
+        if self.host.failures != self._epoch:
+            # A crash dropped whatever we had injected; the recorded
+            # handles are stale and must not be "removed" again.
+            self._handles = []
+            self._epoch = self.host.failures
+        if not self.host.alive:
+            return  # pick the level back up at the next trace entry
         current = len(self._handles)
         if nprocs > current:
             self._handles.extend(
@@ -110,6 +127,16 @@ class RandomLoadGenerator:
     def _drive(self, sim: Simulator, host: Host):
         while True:
             yield sim.timeout(float(self.rng.exponential(self.mean_idle)))
-            handles = host.add_background_load(self.nprocs)
+            # Both timeouts are always drawn so the schedule for a seed
+            # does not depend on host health (same idiom as the failure
+            # injector); injection/removal skip crashed-host windows.
+            injected = False
+            epoch = 0
+            handles: list = []
+            if host.alive:
+                handles = host.add_background_load(self.nprocs)
+                epoch = host.failures
+                injected = True
             yield sim.timeout(float(self.rng.exponential(self.mean_busy)))
-            host.remove_background_load(handles)
+            if injected and host.failures == epoch:
+                host.remove_background_load(handles)

@@ -139,4 +139,13 @@ class SwappableJob:
     # -- launch -------------------------------------------------------------------
     def launch(self, body: Callable[[MpiContext], object]) -> Event:
         """Launch the application on the active set."""
-        return self.job.launch(body)
+        done = self.job.launch(body)
+        # Swaps requested during the application's final iteration (a
+        # rescheduler period can land between the last sync point and
+        # completion) have no boundary left to apply them; discard them
+        # when the job ends instead of leaking the queue forever.
+        done.add_callback(self._on_job_end)
+        return done
+
+    def _on_job_end(self, _event: Event) -> None:
+        self._pending_swaps = []

@@ -22,12 +22,13 @@ swaps.  Four policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..microgrid.host import Host
 from ..mpi.swap import SwappableJob
 from ..nws.service import NetworkWeatherService
 from ..sim.kernel import Simulator
+from ..sim.process import Interrupt, Process
 
 __all__ = ["SwapDecision", "SwapRescheduler", "greedy_policy",
            "single_policy", "threshold_policy", "gang_policy",
@@ -43,6 +44,8 @@ class SwapDecision:
     new_host: str
     old_speed: float
     new_speed: float
+    #: simulated time the decision was made (0.0 for hand-built ones)
+    time: float = 0.0
 
 
 PolicyFn = Callable[[List[Tuple[int, str, float]], List[Tuple[str, float]]],
@@ -101,13 +104,19 @@ def gang_policy(active: List[Tuple[int, str, float]],
     for name, speed in inactive:
         by_site.setdefault(name.split(".")[0], []).append((name, speed))
     best_site_hosts: List[Tuple[str, float]] = []
-    best_gate = gate * improvement
+    threshold = gate * improvement
+    best_gate = threshold
     for site in sorted(by_site):
         hosts = sorted(by_site[site], key=lambda x: -x[1])[:len(active)]
         if len(hosts) < len(active):
             continue
         site_gate = min(speed for _n, speed in hosts)
-        if site_gate >= best_gate:
+        if site_gate < threshold:
+            continue
+        # Strictly-better gate wins; equal gates keep the first site in
+        # sorted order, so adding an unrelated site can never flip an
+        # established destination.
+        if not best_site_hosts or site_gate > best_gate:
             best_gate = site_gate
             best_site_hosts = hosts
     if not best_site_hosts:
@@ -152,6 +161,7 @@ class SwapRescheduler:
         self.improvement = improvement
         self.decisions: List[SwapDecision] = []
         self._stopped = False
+        self._proc: Optional[Process] = None
 
     # -- speed model ---------------------------------------------------------
     def effective_speed(self, host: Host, is_active: bool = False) -> float:
@@ -206,7 +216,7 @@ class SwapRescheduler:
             decision = SwapDecision(
                 logical_rank=rank, old_host=active_name[rank],
                 new_host=new_name, old_speed=active_speed[rank],
-                new_speed=speed_of[new_name])
+                new_speed=speed_of[new_name], time=self.sim.now)
             self.job.request_swap(rank, by_name[new_name])
             self.decisions.append(decision)
             decisions.append(decision)
@@ -222,15 +232,35 @@ class SwapRescheduler:
     # -- daemon ----------------------------------------------------------------
     def start(self) -> None:
         """Run periodic checks until :meth:`stop` or the job finishes."""
-        self.sim.process(self._loop(), name="swap-rescheduler")
+        self._proc = self.sim.process(self._loop(), name="swap-rescheduler")
 
     def stop(self) -> None:
+        """Stop immediately: the pending period timeout is cancelled,
+        so no further decision can be made after this instant."""
         self._stopped = True
+        proc, self._proc = self._proc, None
+        if proc is not None and proc.is_alive:
+            proc.interrupt("swap-rescheduler stopped")
+
+    def _job_finished(self) -> bool:
+        fin = self.job.job.finished
+        if fin is None:
+            return False
+        if fin.triggered:
+            return True
+        # Same-instant window: every rank has finished but the AllOf
+        # joining them has not been processed yet.  Deciding now would
+        # queue swaps that no iteration boundary will ever apply.
+        events = getattr(fin, "events", None)
+        return (events is not None and bool(events)
+                and all(ev.triggered for ev in events))
 
     def _loop(self):
         while not self._stopped:
-            yield self.sim.timeout(self.period)
-            if self.job.job.finished is not None \
-                    and self.job.job.finished.triggered:
+            try:
+                yield self.sim.timeout(self.period)
+            except Interrupt:
+                return
+            if self._stopped or self._job_finished():
                 return
             self.check_and_swap()

@@ -193,6 +193,13 @@ class AllOf(ConditionEvent):
 
     def _on_child(self, child: Event) -> None:
         if self.triggered:
+            if not child.ok:
+                # A sibling already failed (or completed) the condition;
+                # this straggler's failure is still ours to absorb, or
+                # the kernel would raise it as unhandled and abort the
+                # run (two hosts dying under one MPI job did exactly
+                # that).
+                child.defused = True
             return
         if not child.ok:
             self._child_failed(child)
@@ -212,6 +219,9 @@ class AnyOf(ConditionEvent):
 
     def _on_child(self, child: Event) -> None:
         if self.triggered:
+            if not child.ok:
+                child.defused = True  # late failure after the condition
+                # resolved: absorbed, as for AllOf
             return
         if not child.ok:
             self._child_failed(child)

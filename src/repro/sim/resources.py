@@ -5,17 +5,38 @@ sharing, max-min flows), but user-written applications and services
 often need ordinary queueing: a FIFO channel between producers and
 consumers, or a counted resource with waiters.  These primitives fill
 that gap, in the SimPy idiom: methods return events to ``yield`` on.
+
+Waiters are failure-aware.  A process blocked in :meth:`Store.get`,
+:meth:`Store.put` or :meth:`Semaphore.acquire` can die while queued
+(``Process.kill``/``throw`` detaches it from the event it was waiting
+on, leaving the queued event pending with nobody listening), or its
+wait event can be cancelled/raced by user code (e.g. an ``AnyOf`` with
+a timeout that triggers the event another way).  Hand-off therefore
+skips entries whose event has already triggered or whose waiting
+process has finished, and retries the next waiter — a unit or item is
+never granted to the dead, and never silently lost.  The explicit
+:meth:`Semaphore.cancel_wait` / :meth:`Store.cancel_get` /
+:meth:`Store.cancel_put` methods let timeout-style callers withdraw a
+queued wait deterministically.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Tuple
 
 from .events import Event, SimulationError
 from .kernel import Simulator
+from .process import Process
 
 __all__ = ["Store", "Semaphore"]
+
+
+def _dead(ev: Event, owner: Optional[Process]) -> bool:
+    """True when a queued wait can never be delivered: the event was
+    already triggered elsewhere (cancelled/raced) or the process that
+    queued it has finished and will never resume on it."""
+    return ev.triggered or (owner is not None and owner.triggered)
 
 
 class Store:
@@ -23,7 +44,10 @@ class Store:
 
     ``put`` blocks (returns a pending event) while the store is full;
     ``get`` blocks while it is empty.  Items are delivered in FIFO
-    order to getters in FIFO order.
+    order to getters in FIFO order.  Dead waiters (see module
+    docstring) are skipped: an item is never handed to a getter whose
+    process died, and a blocked putter that died never deposits its
+    item (the item was never accepted).
     """
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
@@ -32,8 +56,10 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
-        self._putters: Deque[tuple] = deque()  # (event, item)
+        #: (event, waiting process or None)
+        self._getters: Deque[Tuple[Event, Optional[Process]]] = deque()
+        #: (event, item, waiting process or None)
+        self._putters: Deque[Tuple[Event, Any, Optional[Process]]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -42,19 +68,29 @@ class Store:
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 
+    @property
+    def n_waiting_get(self) -> int:
+        """Queued getters, dead or alive (for introspection/audits)."""
+        return len(self._getters)
+
+    @property
+    def n_waiting_put(self) -> int:
+        """Queued putters, dead or alive (for introspection/audits)."""
+        return len(self._putters)
+
     def put(self, item: Any) -> Event:
         """Deposit ``item``; the event triggers when it is accepted."""
         ev = self.sim.event(name="store:put")
-        if self._getters:
-            # hand straight to the longest-waiting consumer
-            getter = self._getters.popleft()
+        getter = self._pop_live_getter()
+        if getter is not None:
+            # hand straight to the longest-waiting live consumer
             getter.succeed(item)
             ev.succeed()
         elif not self.is_full:
             self._items.append(item)
             ev.succeed()
         else:
-            self._putters.append((ev, item))
+            self._putters.append((ev, item, self.sim.active_process))
         return ev
 
     def get(self) -> Event:
@@ -62,23 +98,61 @@ class Store:
         ev = self.sim.event(name="store:get")
         if self._items:
             ev.succeed(self._items.popleft())
-            # space freed: admit the longest-waiting producer
-            if self._putters:
-                put_ev, item = self._putters.popleft()
-                self._items.append(item)
-                put_ev.succeed()
-        elif self._putters and self.capacity == 0:  # pragma: no cover
-            raise SimulationError("unreachable: zero capacity is rejected")
+            # space freed: admit waiting live producers
+            self._admit_putters()
         else:
-            self._getters.append(ev)
+            self._getters.append((ev, self.sim.active_process))
         return ev
+
+    def cancel_get(self, ev: Event) -> bool:
+        """Withdraw a queued :meth:`get` wait.
+
+        Returns True when the wait was removed; False when it was not
+        queued (never waited, already delivered, or already cancelled)
+        — a False return with ``ev.triggered`` means an item was
+        delivered and the caller still owns it.
+        """
+        return self._discard(self._getters, ev)
+
+    def cancel_put(self, ev: Event) -> bool:
+        """Withdraw a queued :meth:`put` wait; the item is not
+        deposited.  Returns False when the put already completed."""
+        return self._discard(self._putters, ev)
+
+    # -- internals ---------------------------------------------------------
+    @staticmethod
+    def _discard(queue: Deque, ev: Event) -> bool:
+        for entry in queue:
+            if entry[0] is ev:
+                queue.remove(entry)
+                return True
+        return False
+
+    def _pop_live_getter(self) -> Optional[Event]:
+        while self._getters:
+            ev, owner = self._getters.popleft()
+            if _dead(ev, owner):
+                continue  # dead/cancelled getter: skip, try the next
+            return ev
+        return None
+
+    def _admit_putters(self) -> None:
+        while self._putters and not self.is_full:
+            put_ev, item, owner = self._putters.popleft()
+            if _dead(put_ev, owner):
+                continue  # dead producer: its item was never accepted
+            self._items.append(item)
+            put_ev.succeed()
 
 
 class Semaphore:
     """A counted resource: ``acquire`` blocks while the count is zero.
 
     Use for modeling license servers, bounded service concurrency, or
-    any admission control a custom grid service needs.
+    any admission control a custom grid service needs.  A release
+    never hands a unit to a dead waiter (the unit would be lost): dead
+    entries are skipped and the unit goes to the next live waiter, or
+    back to the available pool.
     """
 
     def __init__(self, sim: Simulator, count: int) -> None:
@@ -87,7 +161,8 @@ class Semaphore:
         self.sim = sim
         self.count = count
         self._available = count
-        self._waiters: Deque[Event] = deque()
+        #: (event, waiting process or None)
+        self._waiters: Deque[Tuple[Event, Optional[Process]]] = deque()
 
     @property
     def available(self) -> int:
@@ -104,14 +179,31 @@ class Semaphore:
             self._available -= 1
             ev.succeed()
         else:
-            self._waiters.append(ev)
+            self._waiters.append((ev, self.sim.active_process))
         return ev
 
     def release(self) -> None:
         """Return a unit; over-release is an error."""
-        if self._waiters:
-            self._waiters.popleft().succeed()
+        while self._waiters:
+            ev, owner = self._waiters.popleft()
+            if _dead(ev, owner):
+                continue  # dead/cancelled waiter: keep the unit moving
+            ev.succeed()
             return
         if self._available >= self.count:
             raise SimulationError("semaphore released more than acquired")
         self._available += 1
+
+    def cancel_wait(self, ev: Event) -> bool:
+        """Withdraw a queued :meth:`acquire` wait.
+
+        Returns True when the wait was removed before a unit was
+        granted.  A False return with ``ev.triggered`` means the grant
+        already happened: the caller holds the unit and must
+        :meth:`release` it.
+        """
+        for entry in self._waiters:
+            if entry[0] is ev:
+                self._waiters.remove(entry)
+                return True
+        return False

@@ -1,0 +1,155 @@
+"""Pins for the swap-rescheduler bugs the soak harness flushed out.
+
+* ``gang_policy`` tie-break: equal-gate sites must resolve to the
+  first in sorted order, so adding an unrelated site can never flip an
+  established gang destination.
+* ``SwapRescheduler.stop()`` must cancel the pending period timeout: a
+  stopped rescheduler can not run one more ``check_and_swap`` a period
+  later.
+* The loop must not decide against a finished-but-untriggered job, and
+  swaps queued during the final iteration die with the job instead of
+  leaking in ``_pending_swaps``.
+"""
+
+from types import SimpleNamespace
+
+from repro.microgrid.host import Architecture, Host
+from repro.microgrid.network import Topology
+from repro.mpi.swap import SwappableJob
+from repro.rescheduling.swapping import SwapRescheduler, gang_policy
+from repro.sim.events import AllOf
+from repro.sim.kernel import Simulator
+
+
+class TestGangPolicyTieBreak:
+    def test_equal_gates_pick_first_site_in_sorted_order(self):
+        active = [(0, "old.n0", 100.0), (1, "old.n1", 100.0)]
+        inactive = [("bsite.n0", 220.0), ("bsite.n1", 200.0),
+                    ("asite.n0", 200.0), ("asite.n1", 200.0)]
+        # Both sites gate at 200; the tie must go to "asite".
+        assert gang_policy(active, inactive) == [(0, "asite.n0"),
+                                                 (1, "asite.n1")]
+
+    def test_adding_unrelated_site_cannot_flip_destination(self):
+        active = [(0, "old.n0", 100.0)]
+        before = gang_policy(active, [("asite.n0", 200.0)])
+        after = gang_policy(active, [("asite.n0", 200.0),
+                                     ("zsite.n0", 200.0)])
+        # Before the fix ``>=`` let the later-sorted equal-gate site
+        # overwrite the winner, so the new site stole the gang.
+        assert before == after == [(0, "asite.n0")]
+
+    def test_strictly_better_site_still_wins(self):
+        active = [(0, "old.n0", 100.0)]
+        inactive = [("asite.n0", 200.0), ("zsite.n0", 300.0)]
+        assert gang_policy(active, inactive) == [(0, "zsite.n0")]
+
+    def test_below_threshold_sites_never_qualify(self):
+        active = [(0, "old.n0", 100.0)]
+        assert gang_policy(active, [("asite.n0", 102.0)],
+                           improvement=1.05) == []
+
+
+class _FakeSwappable:
+    """Duck-typed stand-in for SwappableJob: enough for the daemon."""
+
+    def __init__(self):
+        self.job = SimpleNamespace(finished=None)
+        self.has_pending_swaps = False
+
+    def active_hosts(self):
+        return []
+
+    def inactive_hosts(self):
+        return []
+
+    def pool_hosts(self):
+        return []
+
+
+def _daemon(sim, period=10.0):
+    fake = _FakeSwappable()
+    resched = SwapRescheduler(sim, fake, nws=None, policy="gang",
+                              period=period)
+    checks = []
+    resched.check_and_swap = lambda: checks.append(sim.now)
+    return fake, resched, checks
+
+
+class TestSwapReschedulerStop:
+    def test_stop_cancels_the_pending_period(self):
+        sim = Simulator()
+        _fake, resched, checks = _daemon(sim)
+        resched.start()
+        sim.run(until=25.0)
+        resched.stop()
+        sim.run(until=100.0)
+        # Before the fix the loop woke once more at t=30 and decided.
+        assert checks == [10.0, 20.0]
+
+    def test_stop_before_first_period_means_no_checks(self):
+        sim = Simulator()
+        _fake, resched, checks = _daemon(sim)
+        resched.start()
+        sim.run(until=1.0)
+        resched.stop()
+        sim.run(until=100.0)
+        assert checks == []
+
+    def test_restart_after_stop_resumes_checking(self):
+        sim = Simulator()
+        _fake, resched, checks = _daemon(sim)
+        resched.start()
+        sim.run(until=15.0)
+        resched.stop()
+        resched._stopped = False
+        resched.start()
+        sim.run(until=36.0)
+        assert checks == [10.0, 25.0, 35.0]
+
+    def test_loop_exits_when_job_finished_before_check(self):
+        sim = Simulator()
+        fake, resched, checks = _daemon(sim)
+        fin = sim.event("job:finished")
+        fake.job.finished = fin
+        resched.start()
+        sim.call_at(15.0, fin.succeed)
+        sim.run(until=100.0)
+        assert checks == [10.0]
+
+
+class TestFinishedButUntriggeredWindow:
+    def test_job_with_all_ranks_done_counts_as_finished(self):
+        sim = Simulator()
+        fake, resched, _checks = _daemon(sim)
+        rank0, rank1 = sim.event("r0"), sim.event("r1")
+        fake.job.finished = AllOf(sim, [rank0, rank1], name="fin")
+        assert resched._job_finished() is False
+        rank0.succeed()
+        assert resched._job_finished() is False
+        rank1.succeed()
+        # Both ranks triggered, AllOf not yet processed: deciding now
+        # would queue swaps no iteration boundary can ever apply.
+        assert fake.job.finished.triggered is False
+        assert resched._job_finished() is True
+
+    def test_pending_swaps_die_with_the_job(self):
+        sim = Simulator()
+        arch = Architecture(name="test", mflops=100.0)
+        topology = Topology(sim)
+        pool = [Host(sim, "a.n0", arch), Host(sim, "b.n0", arch)]
+        for host in pool:
+            topology.add_node(host.name)
+        job = SwappableJob(sim, topology, pool, active_n=1)
+
+        def body(ctx):
+            yield sim.timeout(5.0)
+
+        done = job.launch(body)
+        # A swap requested during the final iteration has no sync point
+        # left to apply it; it must be discarded at job end.
+        sim.call_at(2.0, lambda: job.request_swap(0, pool[1]))
+        sim.run(stop_event=done)
+        sim.run()
+        assert not job.has_pending_swaps
+        assert job._pending_swaps == []

@@ -1,0 +1,220 @@
+"""Store and Semaphore under process death and wait cancellation.
+
+A process blocked in ``get``/``put``/``acquire`` can be killed while
+queued (its wait event stays pending with nobody listening), or its
+wait event can be triggered another way by racing user code.  Hand-off
+must skip such entries: a unit or item granted to the dead is silently
+lost, which is exactly what the soak harness's conservation invariants
+caught before the fix.
+"""
+
+import pytest
+
+from repro.sim import Semaphore, SimulationError, Simulator, Store
+from repro.sim.events import EventAlreadyTriggered  # noqa: F401  (doc ref)
+
+
+class TestSemaphoreDeadWaiters:
+    def test_release_with_only_dead_waiter_returns_unit_to_pool(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        granted = []
+
+        def holder():
+            yield sem.acquire()
+            yield sim.timeout(10.0)
+            sem.release()
+
+        def waiter():
+            yield sem.acquire()
+            granted.append(sim.now)
+            sem.release()
+
+        sim.process(holder())
+        corpse = sim.process(waiter())
+        sim.call_at(5.0, corpse.kill)
+        sim.run()
+        assert granted == []
+        # Before the fix the release handed the unit to the corpse's
+        # orphaned wait event and it was lost forever.
+        assert sem.available == 1
+
+    def test_release_passes_over_corpse_to_live_waiter(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        granted = []
+
+        def holder():
+            yield sem.acquire()
+            yield sim.timeout(10.0)
+            sem.release()
+
+        def waiter(tag):
+            yield sem.acquire()
+            granted.append((tag, sim.now))
+            sem.release()
+
+        sim.process(holder())
+        corpse = sim.process(waiter("dead"))
+        sim.process(waiter("live"))
+        sim.call_at(5.0, corpse.kill)
+        sim.run()
+        assert granted == [("live", 10.0)]
+        assert sem.available == 1
+
+    def test_over_release_still_rejected_after_dead_waiter_skip(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+
+        def holder():
+            yield sem.acquire()
+            yield sim.timeout(10.0)
+            sem.release()
+
+        def waiter():
+            yield sem.acquire()
+
+        sim.process(holder())
+        corpse = sim.process(waiter())
+        sim.call_at(5.0, corpse.kill)
+        sim.run()
+        assert sem.available == 1
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_release_skips_waiter_event_triggered_by_racing_code(self):
+        # A timeout-style caller triggered the queued wait event itself
+        # (e.g. through an AnyOf race).  Before the fix release() called
+        # succeed() on it and raised EventAlreadyTriggered mid-callback.
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        sem.acquire()  # take the only unit
+        queued = sem.acquire()
+        assert sem.n_waiting == 1
+        queued.succeed()  # racing cancellation path
+        sem.release()  # must skip the triggered entry, not raise
+        sim.run()
+        assert sem.available == 1
+        assert sem.n_waiting == 0
+
+
+class TestSemaphoreCancelWait:
+    def test_cancel_removes_queued_wait(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        sem.acquire()
+        queued = sem.acquire()
+        assert sem.cancel_wait(queued) is True
+        assert sem.n_waiting == 0
+        sem.release()
+        assert sem.available == 1
+
+    def test_cancel_after_grant_reports_false(self):
+        sim = Simulator()
+        sem = Semaphore(sim, count=1)
+        granted = sem.acquire()  # immediate grant, never queued
+        assert granted.triggered
+        assert sem.cancel_wait(granted) is False
+        sem.release()
+        assert sem.available == 1
+
+
+class TestStoreDeadProcesses:
+    def test_put_keeps_item_when_getter_died(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        corpse = sim.process(consumer("dead"))
+        sim.call_at(5.0, corpse.kill)
+        sim.call_at(10.0, lambda: store.put("x"))
+        sim.run()
+        # Before the fix the item was handed to the dead getter's event
+        # and vanished; it must stay in the store for a live consumer.
+        assert got == []
+        assert len(store) == 1
+        sim.process(consumer("live"))
+        sim.run()
+        assert got == [("live", "x")]
+        assert len(store) == 0
+
+    def test_killed_blocked_putter_never_deposits(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")  # blocks: store is full
+
+        def consumer():
+            yield sim.timeout(10.0)
+            item = yield store.get()
+            got.append(item)
+
+        corpse = sim.process(producer())
+        sim.process(consumer())
+        sim.call_at(5.0, corpse.kill)
+        sim.run()
+        # "b" was never accepted; the producer died holding it.
+        assert got == ["a"]
+        assert len(store) == 0
+        assert store.n_waiting_put == 0
+
+    def test_capacity_pressure_with_killed_producers_and_consumers(self):
+        """Conservation under churn: every item a live producer got
+        accepted is either consumed by a live consumer or still in the
+        store at the end."""
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        ledger = {"accepted": 0, "consumed": 0}
+
+        def producer(start, n_items):
+            yield sim.timeout(start)
+            for k in range(n_items):
+                yield store.put(("item", start, k))
+                ledger["accepted"] += 1
+                yield sim.timeout(1.0)
+
+        def consumer(start, n_items):
+            yield sim.timeout(start)
+            for _ in range(n_items):
+                yield store.get()
+                ledger["consumed"] += 1
+                yield sim.timeout(3.0)
+
+        sim.process(producer(0.0, 10))
+        doomed_producer = sim.process(producer(0.5, 10))
+        sim.process(consumer(1.0, 6))
+        doomed_consumer = sim.process(consumer(1.5, 10))
+        sim.call_at(4.25, doomed_producer.kill)
+        sim.call_at(6.25, doomed_consumer.kill)
+        sim.run()
+        assert ledger["accepted"] == ledger["consumed"] + len(store)
+
+    def test_cancel_get_and_cancel_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        waiting_get = store.get()
+        assert store.cancel_get(waiting_get) is True
+        assert store.n_waiting_get == 0
+        store.put("a")
+        waiting_put = store.put("b")
+        assert store.cancel_put(waiting_put) is True
+        assert store.n_waiting_put == 0
+        done = store.get()
+        assert done.value == "a"
+        assert len(store) == 0  # the cancelled "b" was never deposited
+
+    def test_cancel_get_after_delivery_reports_false(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        delivered = store.get()
+        assert delivered.triggered
+        assert store.cancel_get(delivered) is False
+        assert delivered.value == "x"

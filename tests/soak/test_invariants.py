@@ -1,0 +1,51 @@
+"""The invariant auditor registry and the canary violation."""
+
+from repro.soak import (
+    CHECKPOINT_AUDITORS,
+    FINAL_AUDITORS,
+    ScenarioSpec,
+    Violation,
+    run_scenario,
+)
+
+
+class TestRegistry:
+    def test_expected_auditors_registered(self):
+        assert set(CHECKPOINT_AUDITORS) == {
+            "flow-capacity", "host-hygiene", "resource-bounds",
+            "reservation-calendar",
+        }
+        assert {"quiesce", "unhandled-error", "stats-consistency",
+                "services-conservation", "swap-hygiene", "srs-hygiene",
+                "flows-drained", "trace-wellformed",
+                "marker-canary"} <= set(FINAL_AUDITORS)
+
+    def test_violation_round_trips_to_dict(self):
+        violation = Violation(invariant="x", time=1.5, detail="boom")
+        assert violation.to_dict() == {
+            "invariant": "x", "time": 1.5, "detail": "boom"}
+
+
+class TestMarkerCanary:
+    """The permanent known-violation hook used by tests and CI."""
+
+    def test_complementary_markers_flag(self):
+        spec = ScenarioSpec(index=0, seed=0, duration=60.0,
+                            markers=[60, 13, 40, 27])
+        outcome = run_scenario(spec)
+        canary = [v for v in outcome.violations
+                  if v.invariant == "marker-canary"]
+        assert len(canary) == 1
+        assert "markers[0]=60 and markers[2]=40" in canary[0].detail
+
+    def test_non_complementary_markers_stay_quiet(self):
+        spec = ScenarioSpec(index=0, seed=0, duration=60.0,
+                            markers=[60, 13, 41, 27])
+        outcome = run_scenario(spec)
+        assert not [v for v in outcome.violations
+                    if v.invariant == "marker-canary"]
+
+    def test_empty_scenario_is_clean(self):
+        outcome = run_scenario(ScenarioSpec(index=0, seed=0, duration=60.0))
+        assert outcome.violations == []
+        assert outcome.quiesced

@@ -1,0 +1,47 @@
+"""Pinned regression reproducers for the bugs the soak flushed out.
+
+Each JSON file under ``reproducers/`` is a shrunk (or hand-minimized)
+scenario that violated an invariant before its fix landed:
+
+* ``resources-dead-waiters.json`` — ``Semaphore.release``/``Store.put``
+  handing units/items to killed waiters (services-conservation).
+* ``loadgen-crash-removal.json`` — ``ScheduledLoad`` removing its
+  synthetic tasks from a host that crashed and re-registered in
+  between (unhandled-error).
+* ``condition-late-failure.json`` — a second dying MPI rank's failure
+  escaping an already-failed ``AllOf`` undefused and aborting the run
+  (unhandled-error).
+* ``swap-stop-pending-period.json`` — ``SwapRescheduler.stop()``
+  leaving a pending-timeout loop that issued one more swap decision
+  after the stop (swap-hygiene).
+
+All of them must now replay to zero violations and full quiescence —
+forever.  If one regresses, replay it interactively with
+``repro soak replay tests/soak/reproducers/<name>.json``.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.soak import load_reproducer, run_with_checks
+
+REPRODUCER_DIR = os.path.join(os.path.dirname(__file__), "reproducers")
+REPRODUCERS = sorted(glob.glob(os.path.join(REPRODUCER_DIR, "*.json")))
+
+
+def test_reproducer_set_is_complete():
+    names = {os.path.basename(p) for p in REPRODUCERS}
+    assert {"resources-dead-waiters.json", "loadgen-crash-removal.json",
+            "condition-late-failure.json",
+            "swap-stop-pending-period.json"} <= names
+
+
+@pytest.mark.parametrize(
+    "path", REPRODUCERS, ids=[os.path.basename(p) for p in REPRODUCERS])
+def test_reproducer_replays_clean(path):
+    spec = load_reproducer(path)
+    result = run_with_checks(spec)
+    assert result["violations"] == [], result["violations"]
+    assert result["quiesced"]

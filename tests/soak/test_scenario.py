@@ -1,0 +1,100 @@
+"""Scenario sampling and serialization determinism."""
+
+import json
+
+import pytest
+
+from repro.soak import FIG3_HOSTS, SUBMISSION_HOST, ScenarioSpec, sample_scenario
+
+
+class TestSampling:
+    def test_same_seed_index_is_identical(self):
+        a = sample_scenario(7, 3)
+        b = sample_scenario(7, 3)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_index_independent_of_sweep_size(self):
+        # scenario k must not depend on how many scenarios the sweep
+        # draws before or after it
+        alone = sample_scenario(7, 5)
+        in_sweep = [sample_scenario(7, i) for i in range(8)][5]
+        assert alone == in_sweep
+
+    def test_different_seeds_differ(self):
+        assert sample_scenario(0, 0) != sample_scenario(1, 0)
+
+    def test_different_indices_differ(self):
+        assert sample_scenario(7, 0) != sample_scenario(7, 1)
+
+    def test_sampled_elements_are_sane(self):
+        for index in range(30):
+            spec = sample_scenario(7, index)
+            assert spec.duration > 0
+            for fault in spec.faults:
+                assert fault["host"] in FIG3_HOSTS
+                assert fault["host"] != SUBMISSION_HOST
+                assert fault["recover_at"] > fault["at"]
+            for burst in spec.bursts:
+                assert burst["until"] > burst["at"]
+
+    def test_check_flags_follow_index(self):
+        assert sample_scenario(7, 0).engine_check
+        assert sample_scenario(7, 1).engine_check is False
+        assert sample_scenario(7, 0).trace_check
+        assert sample_scenario(7, 5).trace_check
+
+
+class TestSerialization:
+    def test_json_round_trip_byte_identical(self):
+        spec = sample_scenario(7, 2)
+        text = spec.to_json()
+        assert ScenarioSpec.from_json(text).to_json() == text
+
+    def test_round_trip_preserves_equality(self):
+        spec = sample_scenario(7, 4)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        data = sample_scenario(0, 0).to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unsupported_schema_rejected(self):
+        data = sample_scenario(0, 0).to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            ScenarioSpec.from_dict(data)
+
+    def test_json_is_sorted(self):
+        obj = json.loads(sample_scenario(0, 0).to_json())
+        assert list(obj) == sorted(obj)
+
+
+class TestValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            ScenarioSpec(index=0, seed=0, duration=-1.0)
+
+    def test_unknown_job_kind_rejected(self):
+        with pytest.raises(ValueError, match="job kind"):
+            ScenarioSpec(index=0, seed=0, duration=10.0,
+                         jobs=[{"kind": "nope", "submit_time": 0.0}])
+
+    def test_unknown_fault_host_rejected(self):
+        with pytest.raises(ValueError, match="fault host"):
+            ScenarioSpec(index=0, seed=0, duration=10.0,
+                         faults=[{"host": "mars.n0", "at": 1.0,
+                                  "recover_at": 2.0}])
+
+    def test_fault_recovery_must_follow_crash(self):
+        with pytest.raises(ValueError, match="recovery"):
+            ScenarioSpec(index=0, seed=0, duration=10.0,
+                         faults=[{"host": FIG3_HOSTS[1], "at": 5.0,
+                                  "recover_at": 5.0}])
+
+    def test_unknown_swap_policy_rejected(self):
+        with pytest.raises(ValueError, match="swap policy"):
+            ScenarioSpec(index=0, seed=0, duration=10.0,
+                         swap={"policy": "chaotic"})

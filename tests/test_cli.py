@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -180,6 +181,52 @@ class TestMetaschedCommands:
         path = tmp_path / "bad.json"
         path.write_text(json.dumps(doctored))
         assert main(["metasched", "report", str(path)]) == 1
+
+
+class TestSoakCommands:
+    ARGS = ["soak", "run", "--scenarios", "3", "--seed", "7"]
+    SOAK_DIR = os.path.join(os.path.dirname(__file__), "soak")
+    FIXTURE = os.path.join(SOAK_DIR, "fixtures", "known_violation.json")
+
+    def test_run_json_same_seed_byte_identical(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema_version"] == 1
+        assert payload["summary"]["violations"] == 0
+        assert payload["summary"]["scenarios"] == 3
+
+    def test_run_out_and_report(self, tmp_path, capsys):
+        out_path = tmp_path / "soak.json"
+        assert main(self.ARGS + ["--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["soak", "report", str(out_path)]) == 0
+        assert "soak: 3 scenarios" in capsys.readouterr().out
+
+    def test_replay_clean_reproducer(self, capsys):
+        rc = main(["soak", "replay",
+                   os.path.join(self.SOAK_DIR, "reproducers",
+                                "resources-dead-waiters.json")])
+        assert rc == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_replay_violating_fixture_shrinks(self, tmp_path, capsys):
+        shrunk = tmp_path / "minimal.json"
+        assert main(["soak", "replay", self.FIXTURE,
+                     "--shrink", str(shrunk)]) == 1
+        assert "marker-canary" in capsys.readouterr().out
+        # the emitted reproducer must itself replay to the violation
+        assert main(["soak", "replay", str(shrunk)]) == 1
+
+    def test_bad_usage(self, tmp_path, capsys):
+        assert main(["soak", "run", "--scenarios", "0"]) == 2
+        assert main(["soak", "run", "--minutes", "-1"]) == 2
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["soak", "replay", str(garbage)]) == 2
 
 
 class TestTraceCommands:
